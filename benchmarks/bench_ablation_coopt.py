@@ -1,0 +1,63 @@
+"""Ablation (the paper's §7 direction) — locality-only vs co-optimized
+brokerage.
+
+The paper argues PanDA and Rucio should "share performance awareness to
+jointly balance load and data locality".  This benchmark runs the same
+seeded campaign under both brokers and compares queuing delay, success
+rate, load balance, and remote movement.
+
+Reproduced claim (directional): co-optimization should not degrade
+success rate and should improve load balance, at the cost of somewhat
+more remote movement — the trade §3.1 describes.
+"""
+
+from conftest import write_comparison
+
+from repro.scenarios.ablation import AblationConfig, run_ablation
+
+
+def test_ablation_locality_vs_coopt(benchmark):
+    cfg = AblationConfig(seed=11, days=1.5, analysis_tasks_per_hour=8.0)
+
+    result = benchmark.pedantic(run_ablation, args=(cfg,), rounds=1, iterations=1)
+
+    loc, co = result.locality, result.coopt
+
+    assert co.n_jobs > 0 and loc.n_jobs > 0
+    # Co-optimization must not collapse success.
+    assert co.success_rate > loc.success_rate - 0.05
+    # It spreads load at least as evenly as the locality heuristic.
+    assert co.load_imbalance <= loc.load_imbalance * 1.2
+
+    write_comparison(
+        "ablation_coopt",
+        paper={
+            "note": "§7 future direction; no numbers in the paper",
+            "expectation": "shared awareness balances load without hurting "
+                           "success; locality-only piles work onto data sites",
+        },
+        measured={
+            "locality": {
+                "jobs": loc.n_jobs,
+                "success_rate": round(loc.success_rate, 3),
+                "mean_queuing_s": round(loc.mean_queuing, 1),
+                "p95_queuing_s": round(loc.p95_queuing, 1),
+                "remote_TB": round(loc.remote_bytes / 1e12, 3),
+                "load_imbalance": round(loc.load_imbalance, 4),
+                "error_share_data": round(loc.data_error_share, 3),
+                "error_share_compute": round(loc.compute_error_share, 3),
+            },
+            "coopt": {
+                "jobs": co.n_jobs,
+                "success_rate": round(co.success_rate, 3),
+                "mean_queuing_s": round(co.mean_queuing, 1),
+                "p95_queuing_s": round(co.p95_queuing, 1),
+                "remote_TB": round(co.remote_bytes / 1e12, 3),
+                "load_imbalance": round(co.load_imbalance, 4),
+                "error_share_data": round(co.data_error_share, 3),
+                "error_share_compute": round(co.compute_error_share, 3),
+            },
+            "queue_speedup": round(result.queue_speedup, 3),
+            "balance_gain": round(result.balance_gain, 3),
+        },
+    )

@@ -1,0 +1,74 @@
+"""Ablation (related work §6) — Data Carousel delivery strategies.
+
+The iDDS paper the related-work section cites "ensures fine-grained,
+pre-staged data availability and reduces 'long tails' in ATLAS
+production".  This benchmark runs the same tape-heavy production
+campaign under (a) a fixed staging lead and (b) iDDS-style
+release-on-data-ready delivery, and compares task makespans.
+
+Reproduced claim (directional): fine-grained delivery does not lengthen
+task makespans and removes the fixed-lead floor for tasks whose data
+was already on disk.
+"""
+
+import numpy as np
+from conftest import write_comparison
+
+from repro.grid.presets import build_mini
+from repro.panda.job import JobKind
+from repro.scenarios.runtime import HarnessConfig, SimulationHarness
+from repro.workload.generator import WorkloadConfig
+
+
+def _run(use_idds: bool) -> dict:
+    cfg = HarnessConfig(
+        seed=31,
+        workload=WorkloadConfig(
+            duration=12 * 3600.0,
+            analysis_tasks_per_hour=1.0,
+            production_tasks_per_hour=2.0,
+            background_transfers_per_hour=5.0,
+            production_tape_fraction=0.7,
+            use_idds=use_idds,
+        ),
+        drain=72 * 3600.0,
+    )
+    harness = SimulationHarness(cfg, topology=build_mini(seed=31))
+    harness.run()
+    spans = []
+    for task in harness.panda.tasks.values():
+        if task.kind is not JobKind.PRODUCTION or not task.jobs:
+            continue
+        ends = [j.end_time for j in task.jobs if j.end_time is not None]
+        if ends:
+            spans.append(max(ends) - task.created_at)
+    spans_arr = np.array(spans)
+    prod_jobs = [j for j in harness.collector.completed_jobs
+                 if j.kind is JobKind.PRODUCTION]
+    return {
+        "n_tasks": len(spans),
+        "n_jobs": len(prod_jobs),
+        "mean_makespan_h": round(float(spans_arr.mean()) / 3600.0, 2),
+        "p95_makespan_h": round(float(np.percentile(spans_arr, 95)) / 3600.0, 2),
+        "tape_recalls": harness.tape.completed if harness.tape else 0,
+    }
+
+
+def test_ablation_carousel_delivery(benchmark):
+    fixed = _run(use_idds=False)
+
+    idds = benchmark.pedantic(_run, args=(True,), rounds=1, iterations=1)
+
+    assert idds["n_tasks"] > 0 and fixed["n_tasks"] > 0
+    assert idds["tape_recalls"] > 0, "carousel recalls must occur"
+    # Fine-grained delivery must not lengthen the mean makespan.
+    assert idds["mean_makespan_h"] <= fixed["mean_makespan_h"] * 1.05
+
+    write_comparison(
+        "ablation_idds",
+        paper={
+            "note": "related work §6: iDDS reduces production long tails",
+        },
+        measured={"fixed_lead": fixed, "idds_delivery": idds},
+        notes="Same seeded tape-heavy campaign under both delivery strategies.",
+    )

@@ -1,0 +1,44 @@
+"""Implementation benchmark: reference vs sweep-based bandwidth series.
+
+§5.5 calls for "systematic and scalable analysis designs".  The Fig 7/8
+aggregation has two implementations — a per-transfer bucket walk and an
+event-sweep (`bandwidth_series_fast`) that is O(n log n + buckets)
+regardless of transfer durations.  Both are differentially tested for
+equality (tests/test_properties_more.py); this file tracks their
+relative performance on the full campaign so the fast path's advantage
+is visible and regressions are caught.
+"""
+
+import numpy as np
+
+from repro.core.analysis.bandwidth import bandwidth_series, bandwidth_series_fast
+
+
+def test_reference_bandwidth_impl(benchmark, eightday):
+    telemetry = eightday.telemetry
+    t0, t1 = eightday.harness.window
+
+    series = benchmark(bandwidth_series, telemetry.transfers, t0, t1, 900.0)
+    assert series.bytes_per_bucket.sum() > 0
+
+
+def test_sweep_bandwidth_impl(benchmark, eightday):
+    telemetry = eightday.telemetry
+    t0, t1 = eightday.harness.window
+
+    series = benchmark(bandwidth_series_fast, telemetry.transfers, t0, t1, 900.0)
+    assert series.bytes_per_bucket.sum() > 0
+
+
+def test_impls_agree_on_campaign(benchmark, eightday):
+    telemetry = eightday.telemetry
+    t0, t1 = eightday.harness.window
+
+    def both():
+        ref = bandwidth_series(telemetry.transfers, t0, t1, 900.0)
+        fast = bandwidth_series_fast(telemetry.transfers, t0, t1, 900.0)
+        return ref, fast
+
+    ref, fast = benchmark.pedantic(both, rounds=1, iterations=1)
+    np.testing.assert_allclose(
+        fast.bytes_per_bucket, ref.bytes_per_bucket, rtol=1e-6, atol=1.0)

@@ -1,0 +1,72 @@
+"""Fig 11 — case study: a failed job with a transfer spanning queue and wall.
+
+Paper (pandaid 6583431126): first transfer (4.6 GB) took 22 s, the
+second (20.5 GB) over 30 minutes — spanning both queuing and execution
+and occupying >90% of the job lifetime; throughput differed >20x; the
+job failed with error 1305 ("Non-zero return code from Overlay (1)").
+Causality is unproven but prolonged transfers plausibly raise failure
+odds.
+
+Reproduced claims: failed jobs with queue+wall-spanning transfers exist;
+spanning-staging jobs fail at a higher rate than matched jobs overall
+(the mechanism the simulator encodes explicitly).
+"""
+
+from conftest import write_comparison
+
+from repro.core.analysis.timeline import find_failed_with_overlap
+from repro.core.anomaly.staging import (
+    StagingSeverity,
+    failure_rate_by_severity,
+    find_staging_anomalies,
+)
+from repro.units import bytes_to_human
+
+
+def test_fig11_failed_spanning_case(benchmark, eightday_report):
+    matches = eightday_report["rm2"].matched_jobs()
+
+    cases = benchmark(find_failed_with_overlap, matches)
+
+    anomalies = find_staging_anomalies(matches)
+    rates = failure_rate_by_severity(anomalies)
+    overall_failed = sum(1 for m in matches if m.job.status == "failed") / len(matches)
+
+    measured = {
+        "n_failed_spanning_jobs": len(cases),
+        "overall_matched_failure_rate": round(overall_failed, 3),
+        "failure_rate_by_severity": {
+            sev.name.lower(): round(rate, 3) for sev, rate in rates.items()
+        },
+    }
+    if cases:
+        case = cases[0]
+        spanning = case.transfers_spanning_execution()
+        measured["case"] = {
+            "pandaid": case.pandaid,
+            "error_code": case.error_code,
+            "error_message": case.error_message,
+            "spanning_transfer": bytes_to_human(spanning[0].file_size),
+            "spanning_duration_s": round(spanning[0].duration, 1),
+            "lifetime_share": round(spanning[0].duration / case.lifetime, 2),
+            "throughput_spread": round(case.throughput_spread(), 1),
+        }
+        assert case.status == "failed"
+        assert spanning
+
+    if StagingSeverity.SPANNING in rates and len(
+            [a for a in anomalies if a.severity is StagingSeverity.SPANNING]) >= 5:
+        assert rates[StagingSeverity.SPANNING] >= overall_failed, (
+            "spanning-staging jobs should fail at least as often as average")
+
+    write_comparison(
+        "fig11_case_failed",
+        paper={
+            "pandaid": 6583431126,
+            "transfers": ["4.6 GB in 22 s", "20.5 GB in >30 min"],
+            "lifetime_share": ">0.9",
+            "throughput_spread": ">20x",
+            "error": "1305 Non-zero return code from Overlay (1)",
+        },
+        measured=measured,
+    )

@@ -1,0 +1,66 @@
+"""Fig 12 + Table 3 — case study: redundant transfers and UNKNOWN-site
+reconstruction through RM2.
+
+Paper (pandaid 6585617863): the same three files were transferred twice;
+the first set's destination was recorded UNKNOWN, so exact matching
+misses the job, but RM2 matches it, and byte-identical size pairing
+(5,243,410,528 / 5,243,415,988 / 5,242,750,540 bytes) proves the
+UNKNOWN destination was CERN-PROD — redundant movement that was "in
+principle avoidable".
+
+Reproduced claims: redundant same-file same-destination transfer groups
+exist; RM2 matches jobs exact matching misses; UNKNOWN labels are
+reconstructible with high accuracy against ground truth.
+"""
+
+from conftest import write_comparison
+
+from repro.core.anomaly.inference import infer_unknown_sites, inference_accuracy
+from repro.core.anomaly.redundant import find_redundant_transfers, total_wasted_bytes
+from repro.units import bytes_to_human
+
+
+def test_fig12_redundant_and_inference(benchmark, eightday, eightday_report):
+    telemetry = eightday.telemetry
+
+    groups = benchmark(find_redundant_transfers, telemetry.transfers)
+
+    assert groups, "redundant transfer groups expected (prefetch duplicates)"
+    wasted = total_wasted_bytes(groups)
+    assert wasted > 0
+
+    # RM2 recovers jobs exact matching cannot see.
+    exact_jobs = {m.job.pandaid for m in eightday_report["exact"].matched_jobs()}
+    rm2_jobs = {m.job.pandaid for m in eightday_report["rm2"].matched_jobs()}
+    rm2_only = rm2_jobs - exact_jobs
+    assert rm2_only, "RM2 must add jobs beyond exact matching"
+
+    inferences = infer_unknown_sites(
+        eightday_report["rm2"].matched_jobs(), telemetry.transfers)
+    accuracy = inference_accuracy(inferences, telemetry.ground_truth.true_sites)
+    assert inferences, "UNKNOWN-site inferences expected"
+    assert accuracy > 0.5, "inference must beat coin-flips against ground truth"
+
+    write_comparison(
+        "fig12_case_redundant",
+        paper={
+            "pandaid": 6585617863,
+            "redundant_files": 3,
+            "unknown_destination_recovered": "CERN-PROD",
+            "evidence": "byte-identical sizes pairing transfers (0,3),(1,4),(2,5)",
+        },
+        measured={
+            "n_redundant_groups": len(groups),
+            "wasted_bytes": bytes_to_human(wasted),
+            "largest_group": {
+                "lfn": groups[0].lfn,
+                "destination": groups[0].destination,
+                "copies": groups[0].n_copies,
+                "wasted": bytes_to_human(groups[0].wasted_bytes),
+            },
+            "rm2_only_jobs": len(rm2_only),
+            "n_site_inferences": len(inferences),
+            "inference_accuracy_vs_ground_truth": round(accuracy, 3),
+        },
+        notes="Ground-truth accuracy is an evaluation the paper could not run.",
+    )

@@ -1,0 +1,37 @@
+"""Fig 2 — cumulative ATLAS volume managed by Rucio (2009-2024).
+
+Paper: the curve approaches 1 EB by mid-2024, "more than a doubling of
+the data volume since 2018".  We regenerate the series from the growth
+model and check both shapes.
+"""
+
+from conftest import write_comparison
+
+from repro.scenarios.growth import GrowthModel
+from repro.units import EB
+
+
+def test_fig2_growth_curve(benchmark):
+    model = GrowthModel()
+
+    series = benchmark(model.series)
+
+    cumulative = {p.year: p.cumulative for p in series}
+    ratio = cumulative[2024] / cumulative[2018]
+
+    # Shape checks mirroring the paper's reading of Fig 2.
+    assert 0.5 * EB < cumulative[2024] < 2.5 * EB
+    assert ratio > 2.0
+    assert all(b > a for a, b in zip(
+        [p.cumulative for p in series], [p.cumulative for p in series][1:]))
+
+    write_comparison(
+        "fig2_growth",
+        paper={"volume_2024_EB": 1.0, "ratio_2018_to_2024": ">2.0"},
+        measured={
+            "volume_2024_EB": round(cumulative[2024] / EB, 3),
+            "ratio_2018_to_2024": round(ratio, 2),
+            "series_EB": {y: round(v / EB, 4) for y, v in cumulative.items()},
+        },
+        notes="Birth-death archive model calibrated to the LHC run schedule.",
+    )

@@ -1,0 +1,53 @@
+"""Algorithm throughput — the scalability §5.5 calls for.
+
+The paper processes ~1M jobs and ~7M transfers; §5.5 notes that
+"the volume of metadata imposes the need for efficient computing for
+scalability".  This benchmark measures the matching pipeline's
+throughput (candidate-join construction plus all three matchers) so
+regressions in the hash-join implementation are caught.
+"""
+
+from conftest import write_comparison
+
+from repro.core.matching.base import CandidateIndex
+from repro.core.matching.exact import ExactMatcher
+from repro.core.matching.pipeline import MatchingPipeline
+
+
+def test_candidate_index_build_throughput(benchmark, eightday):
+    telemetry = eightday.telemetry
+
+    index = benchmark(CandidateIndex, telemetry.files, telemetry.transfers)
+    assert index is not None
+
+
+def test_exact_matcher_throughput(benchmark, eightday):
+    telemetry = eightday.telemetry
+    t0, t1 = eightday.harness.window
+    jobs = eightday.source.user_jobs_completed_in(t0, t1)
+    index = CandidateIndex(telemetry.files, telemetry.transfers)
+    matcher = ExactMatcher(eightday.harness.known_site_names())
+
+    result = benchmark(matcher.run, jobs, index, len(telemetry.transfers))
+
+    assert result.n_jobs_considered == len(jobs)
+
+    write_comparison(
+        "matching_scaling",
+        paper={"note": "paper reports no timings; §5.5 demands scalability"},
+        measured={
+            "jobs_considered": result.n_jobs_considered,
+            "transfers_in_store": len(eightday.telemetry.transfers),
+            "files_in_store": len(eightday.telemetry.files),
+        },
+        notes="Timing lives in the pytest-benchmark table for this file.",
+    )
+
+
+def test_full_pipeline_throughput(benchmark, eightday):
+    pipeline = MatchingPipeline(
+        eightday.source, known_sites=eightday.harness.known_site_names())
+    t0, t1 = eightday.harness.window
+
+    report = benchmark(pipeline.run, t0, t1)
+    assert report["exact"].n_matched_jobs >= 0

@@ -1,0 +1,55 @@
+"""§5.1 headline — exact-matching coverage and transfer-time statistics.
+
+Paper: 966,453 user jobs and 6,784,936 transfers collected; 1,585,229
+transfers carry a jeditaskid; exact matching links 30,380 transfers
+(1.92%) and 7,907 jobs (0.82%); for matched jobs the mean transfer
+time share of queuing time is 8.43% (geometric mean 1.942%).
+
+Reproduced claims: coverage in the low single digits for both jobs and
+transfers; the taskid-carrying fraction is a minority of all transfers;
+mean transfer-time share is ~10% with a much smaller geometric mean.
+"""
+
+from conftest import write_comparison
+
+from repro.core.analysis.summary import headline_stats
+
+
+def test_headline_summary(benchmark, eightday, eightday_report):
+    stats = benchmark(headline_stats, eightday_report)
+
+    taskid_fraction = (
+        eightday_report.n_transfers_with_taskid / eightday_report.n_transfers
+    )
+
+    assert 0.0 < stats.transfer_match_pct < 15.0
+    assert 0.0 < stats.job_match_pct < 15.0
+    assert taskid_fraction < 0.8
+    assert stats.mean_transfer_pct > stats.geomean_transfer_pct
+
+    write_comparison(
+        "summary_headline",
+        paper={
+            "jobs": 966453,
+            "transfers": 6784936,
+            "transfers_with_taskid": 1585229,
+            "matched_transfers": 30380,
+            "transfer_match_pct": 1.92,
+            "matched_jobs": 7907,
+            "job_match_pct": 0.82,
+            "mean_transfer_time_pct": 8.43,
+            "geomean_transfer_time_pct": 1.942,
+        },
+        measured={
+            "jobs": stats.n_jobs,
+            "transfers": stats.n_transfers,
+            "transfers_with_taskid": stats.n_transfers_with_taskid,
+            "matched_transfers": stats.n_matched_transfers,
+            "transfer_match_pct": round(stats.transfer_match_pct, 2),
+            "matched_jobs": stats.n_matched_jobs,
+            "job_match_pct": round(stats.job_match_pct, 2),
+            "mean_transfer_time_pct": round(stats.mean_transfer_pct, 2),
+            "geomean_transfer_time_pct": round(stats.geomean_transfer_pct, 3),
+        },
+        notes="Counts are laptop-scale; percentages are the comparable shape.",
+    )

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Co-optimization study: locality-only vs shared-awareness brokerage.
+
+§3.1 of the paper observes that PanDA's "send the job to its data"
+heuristic can overload compute at data-rich sites, and §7 calls for
+adaptive strategies where PanDA and Rucio share performance awareness.
+This example runs the same seeded campaign under both brokers and
+reports the trade: queuing delay, success rate, load balance across
+sites, and remote movement volume.
+
+Usage::
+
+    python examples/co_optimization_study.py [--days 1.5] [--seed 11]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.reporting.tables import render_table
+from repro.scenarios.ablation import AblationConfig, run_ablation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=1.5)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--tasks-per-hour", type=float, default=8.0)
+    args = parser.parse_args()
+
+    cfg = AblationConfig(
+        seed=args.seed, days=args.days,
+        analysis_tasks_per_hour=args.tasks_per_hour,
+    )
+    print(f"Running the same {args.days:g}-day campaign under both brokers ...")
+    result = run_ablation(cfg)
+
+    rows = []
+    for m in (result.locality, result.coopt):
+        rows.append([
+            m.broker,
+            m.n_jobs,
+            f"{m.success_rate:.1%}",
+            f"{m.mean_queuing:.0f}s",
+            f"{m.p95_queuing:.0f}s",
+            f"{m.remote_bytes / 1e12:.2f} TB",
+            f"{m.load_imbalance:.4f}",
+        ])
+    print(render_table(
+        ["broker", "jobs", "success", "mean queue", "p95 queue",
+         "remote volume", "load imbalance"],
+        rows,
+    ))
+
+    print(f"\nqueue speedup (locality/coopt) : {result.queue_speedup:.2f}x")
+    print(f"load-balance gain              : {result.balance_gain:+.0%}")
+    print(
+        "\nReading: co-optimization trades extra remote movement for\n"
+        "smoother site loads — exactly the §3.1 tension ('minimizing input\n"
+        "data movement reduces network traffic but can overload compute\n"
+        "resources at a single site')."
+    )
+
+
+if __name__ == "__main__":
+    main()

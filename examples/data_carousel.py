@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Data Carousel: tape-resident production with and without iDDS.
+
+Production inputs at Tier-0/1 often live on tape; processing them means
+recalling files through a limited pool of tape drives before any
+wide-area transfer can move them to the processing site (the WLCG
+"Data Carousel").  The paper's related work (§6) credits iDDS with
+reducing the resulting long tails by releasing work as data lands
+instead of after a fixed staging lead.
+
+This example runs a tape-heavy campaign twice — fixed-lead vs
+iDDS-style delivery — and prints the recall statistics and task
+makespans side by side.
+
+Usage::
+
+    python examples/data_carousel.py [--hours 12] [--seed 31]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.grid.presets import build_mini
+from repro.panda.job import JobKind
+from repro.reporting.tables import render_table
+from repro.scenarios.runtime import HarnessConfig, SimulationHarness
+from repro.workload.generator import WorkloadConfig
+
+
+def run(use_idds: bool, hours: float, seed: int):
+    cfg = HarnessConfig(
+        seed=seed,
+        workload=WorkloadConfig(
+            duration=hours * 3600.0,
+            analysis_tasks_per_hour=1.0,
+            production_tasks_per_hour=2.0,
+            background_transfers_per_hour=5.0,
+            production_tape_fraction=0.8,
+            use_idds=use_idds,
+        ),
+        drain=72 * 3600.0,
+    )
+    harness = SimulationHarness(cfg, topology=build_mini(seed=seed))
+    harness.run()
+    spans = []
+    for task in harness.panda.tasks.values():
+        if task.kind is not JobKind.PRODUCTION or not task.jobs:
+            continue
+        ends = [j.end_time for j in task.jobs if j.end_time is not None]
+        if ends:
+            spans.append(max(ends) - task.created_at)
+    spans_arr = np.array(spans) if spans else np.array([0.0])
+    prod = [j for j in harness.collector.completed_jobs if j.kind is JobKind.PRODUCTION]
+    return {
+        "mode": "iDDS delivery" if use_idds else "fixed 4h lead",
+        "tasks": len(spans),
+        "jobs": len(prod),
+        "recalls": harness.tape.completed if harness.tape else 0,
+        "recall_failures": harness.tape.failed if harness.tape else 0,
+        "mean_makespan_h": float(spans_arr.mean()) / 3600.0,
+        "p95_makespan_h": float(np.percentile(spans_arr, 95)) / 3600.0,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=12.0)
+    parser.add_argument("--seed", type=int, default=31)
+    args = parser.parse_args()
+
+    print("Running the same tape-heavy campaign under both delivery modes ...")
+    rows = []
+    results = [run(False, args.hours, args.seed), run(True, args.hours, args.seed)]
+    for r in results:
+        rows.append([
+            r["mode"], r["tasks"], r["jobs"], r["recalls"],
+            f"{r['mean_makespan_h']:.1f}h", f"{r['p95_makespan_h']:.1f}h",
+        ])
+    print(render_table(
+        ["delivery", "tasks", "jobs", "tape recalls", "mean makespan", "p95 makespan"],
+        rows,
+    ))
+
+    fixed, idds = results
+    gain = 1.0 - idds["mean_makespan_h"] / max(fixed["mean_makespan_h"], 1e-9)
+    print(f"\niDDS mean-makespan gain: {gain:+.0%}")
+    print(
+        "\nReading: with a fixed lead every job waits out the full lead even\n"
+        "when its chunk is already on disk; release-on-ready starts work the\n"
+        "moment recalls land — the §6 'long tail' reduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

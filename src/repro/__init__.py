@@ -1,0 +1,34 @@
+"""repro — reproduction of "Data Management System Analysis for
+Distributed Computing Workloads" (SC Workshops '25).
+
+The package simulates a WLCG-like grid running PanDA-style workload
+management over Rucio-style data management, degrades the resulting
+telemetry the way production metadata is degraded, and implements the
+paper's contribution: file-level matching of jobs to transfer events
+(Algorithm 1, RM1, RM2) plus the analyses and anomaly detectors built
+on it.
+
+Quickstart::
+
+    from repro.scenarios import EightDayStudy, EightDayConfig
+
+    study = EightDayStudy(EightDayConfig(days=2.0)).run()
+    report = study.matching_report()
+    print(report["exact"].n_matched_jobs, "jobs matched exactly")
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+from repro.scenarios.eightday import EightDayConfig, EightDayStudy
+from repro.scenarios.runtime import HarnessConfig, SimulationHarness
+
+__all__ = [
+    "__version__",
+    "EightDayConfig",
+    "EightDayStudy",
+    "HarnessConfig",
+    "SimulationHarness",
+]

@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the main workflows:
+
+* ``simulate`` — run a campaign, print population statistics;
+* ``match`` — campaign + Exact/RM1/RM2 matching, print Tables 1-2;
+* ``anomalies`` — campaign + anomaly report + mitigation advice;
+* ``growth`` — print the Fig 2 cumulative-volume series;
+* ``ablation`` — locality vs co-optimized brokerage comparison;
+* ``export`` — dump degraded telemetry and matching results to files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis.summary import (
+    activity_breakdown,
+    headline_stats,
+    method_comparison_jobs,
+    method_comparison_transfers,
+)
+from repro.core.anomaly.inference import inference_accuracy
+from repro.core.anomaly.report import build_anomaly_report
+from repro.coopt.policies import advise
+from repro.reporting.export import rows_to_csv, to_json_file
+from repro.reporting.tables import render_activity_table, render_method_tables, render_table
+from repro.scenarios.eightday import EightDayConfig, EightDayStudy
+from repro.scenarios.growth import GrowthModel
+from repro.units import EB, bytes_to_human
+
+
+def _add_campaign_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--days", type=float, default=2.0, help="campaign length (days)")
+    p.add_argument("--seed", type=int, default=2025, help="root random seed")
+    p.add_argument("--intensity", type=float, default=1.0, help="arrival-rate scale")
+
+
+def _study(args) -> EightDayStudy:
+    cfg = EightDayConfig(seed=args.seed, days=args.days, intensity=args.intensity)
+    print(f"simulating {args.days:g} days (seed {args.seed}) ...", file=sys.stderr)
+    return EightDayStudy(cfg).run()
+
+
+def cmd_simulate(args) -> int:
+    study = _study(args)
+    harness = study.harness
+    telemetry = study.telemetry
+    print(f"sites                : {harness.topology.n_sites}")
+    print(f"jobs completed       : {harness.collector.n_jobs}")
+    print(f"transfer events      : {harness.collector.n_transfers}")
+    print(f"tape recalls         : {harness.tape.completed if harness.tape else 0}")
+    print(f"degraded transfers   : {len(telemetry.transfers)} "
+          f"({telemetry.n_transfers_with_taskid} with jeditaskid)")
+    print(f"degraded file rows   : {len(telemetry.files)}")
+    print(f"success fraction     : {harness.panda.success_fraction():.1%}")
+    return 0
+
+
+def cmd_match(args) -> int:
+    study = _study(args)
+    telemetry = study.telemetry
+    report = study.matching_report()
+    stats = headline_stats(report)
+    print(f"matched transfers : {stats.n_matched_transfers} "
+          f"({stats.transfer_match_pct:.2f}% of taskid transfers)")
+    print(f"matched jobs      : {stats.n_matched_jobs} "
+          f"({stats.job_match_pct:.2f}% of user jobs)")
+    print(f"transfer-time in queue: mean {stats.mean_transfer_pct:.2f}% "
+          f"geomean {stats.geomean_transfer_pct:.3f}%\n")
+    print(render_activity_table(activity_breakdown(report["exact"], telemetry.transfers)))
+    print()
+    print(render_method_tables(
+        method_comparison_transfers(report),
+        method_comparison_jobs(report),
+        report.n_transfers_with_taskid,
+        report.n_jobs,
+    ))
+    return 0
+
+
+def cmd_anomalies(args) -> int:
+    study = _study(args)
+    telemetry = study.telemetry
+    matches = study.matching_report()["rm2"].matched_jobs()
+    report = build_anomaly_report(
+        matches, telemetry.transfers,
+        site_names=study.harness.topology.site_names())
+    print(report)
+    if report.inferences:
+        acc = inference_accuracy(report.inferences, telemetry.ground_truth.true_sites)
+        print(f"inference accuracy vs ground truth: {acc:.0%}")
+    print()
+    for a in advise(report):
+        print(a)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.reporting.markdown import write_markdown_report
+
+    n = write_markdown_report(args.results, args.out)
+    print(f"rendered {n} experiment(s) to {args.out}")
+    return 0 if n else 1
+
+
+def cmd_growth(args) -> int:
+    model = GrowthModel()
+    rows = [
+        [str(p.year), bytes_to_human(p.ingested), bytes_to_human(p.cumulative),
+         f"{p.cumulative / EB:.3f}"]
+        for p in model.series()
+    ]
+    print(render_table(["year", "ingested", "cumulative", "EB"], rows))
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    from repro.scenarios.ablation import AblationConfig, run_ablation
+
+    result = run_ablation(AblationConfig(seed=args.seed, days=args.days))
+    print(result.locality.summary())
+    print(result.coopt.summary())
+    print(f"queue speedup: {result.queue_speedup:.2f}x  "
+          f"balance gain: {result.balance_gain:+.0%}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    study = _study(args)
+    telemetry = study.telemetry
+    report = study.matching_report()
+    n = rows_to_csv(f"{args.out}/transfers.csv", telemetry.transfers)
+    m = rows_to_csv(f"{args.out}/jobs.csv", telemetry.jobs)
+    k = rows_to_csv(f"{args.out}/files.csv", telemetry.files)
+    to_json_file(f"{args.out}/matching.json", {
+        method: {
+            "matched_jobs": report[method].n_matched_jobs,
+            "matched_transfers": report[method].n_matched_transfers,
+            "pairs": report[method].matched_pairs(),
+        }
+        for method in report.methods
+    })
+    print(f"wrote {n} transfers, {m} jobs, {k} file rows, and matching.json to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PanDA/Rucio co-analysis reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, extra in (
+        ("simulate", cmd_simulate, None),
+        ("match", cmd_match, None),
+        ("anomalies", cmd_anomalies, None),
+        ("ablation", cmd_ablation, None),
+        ("export", cmd_export, "out"),
+    ):
+        p = sub.add_parser(name, help=fn.__doc__)
+        _add_campaign_args(p)
+        if extra == "out":
+            p.add_argument("--out", default="repro_export", help="output directory")
+        p.set_defaults(fn=fn)
+
+    g = sub.add_parser("growth", help="print the Fig 2 volume series")
+    g.set_defaults(fn=cmd_growth)
+
+    r = sub.add_parser("report", help="render benchmark artifacts to markdown")
+    r.add_argument("--results", default="benchmarks/results",
+                   help="artifact directory written by the benchmarks")
+    r.add_argument("--out", default="EXPERIMENT_RESULTS.md", help="output file")
+    r.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

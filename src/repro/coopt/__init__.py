@@ -1,0 +1,27 @@
+"""PanDA–Rucio co-optimization (the paper's §7 mitigation directions).
+
+The paper concludes that "future efforts should focus on … developing
+adaptive strategies where PanDA and Rucio share performance awareness
+to jointly balance load and data locality".  This package implements
+that direction so it can be ablated against the production heuristic:
+
+* :mod:`awareness` — the shared performance state: per-site queue
+  pressure, observed link throughput, failure rates;
+* :mod:`broker2` — a brokerage that minimises *estimated completion
+  time* (queue wait + staging time + failure risk) instead of blindly
+  following data locality;
+* :mod:`policies` — operational mitigations: redundant-transfer
+  suppression and staging-timeout re-brokerage advice.
+"""
+
+from repro.coopt.awareness import PerformanceAwareness
+from repro.coopt.broker2 import CoOptimizedBroker
+from repro.coopt.policies import TransferDeduplicator, MitigationAdvice, advise
+
+__all__ = [
+    "PerformanceAwareness",
+    "CoOptimizedBroker",
+    "TransferDeduplicator",
+    "MitigationAdvice",
+    "advise",
+]

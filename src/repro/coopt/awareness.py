@@ -1,0 +1,104 @@
+"""Shared performance awareness.
+
+The dynamic system information §3.1 says is missing: "The critical
+challenge … is to acquire sufficient dynamic system information to
+guide both data placement and job allocation decisions in real time."
+This class is that information bus: both PanDA (brokerage) and Rucio
+(source selection, policies) read the same live estimates.
+
+All estimators are exponentially weighted moving averages so the state
+is O(sites + links) and updates are O(1) per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.grid.topology import GridTopology
+from repro.panda.job import Job
+from repro.rucio.transfer import TransferEvent
+
+
+@dataclass
+class EwmaEstimate:
+    """One exponentially weighted moving average."""
+
+    alpha: float = 0.2
+    value: Optional[float] = None
+    n_samples: int = 0
+
+    def update(self, x: float) -> None:
+        self.value = x if self.value is None else (1 - self.alpha) * self.value + self.alpha * x
+        self.n_samples += 1
+
+    def get(self, default: float) -> float:
+        return self.value if self.value is not None else default
+
+
+class PerformanceAwareness:
+    """Live cross-system state: queue pressure, throughput, failures."""
+
+    def __init__(self, topology: GridTopology, alpha: float = 0.2) -> None:
+        self.topology = topology
+        self.alpha = alpha
+        #: observed per-transfer throughput per directed site pair (bytes/s)
+        self._link_throughput: Dict[Tuple[str, str], EwmaEstimate] = {}
+        #: observed queuing time per site (seconds)
+        self._site_queue: Dict[str, EwmaEstimate] = {}
+        #: observed failure indicator per site (0/1 EWMA = rate)
+        self._site_failure: Dict[str, EwmaEstimate] = {}
+        #: ready-but-not-running backlog per site, maintained by callers
+        self._site_backlog: Dict[str, int] = {}
+
+    # -- event sinks -------------------------------------------------------------
+
+    def on_transfer(self, event: TransferEvent) -> None:
+        if not event.success or event.duration <= 0:
+            return
+        key = (event.source_site, event.destination_site)
+        est = self._link_throughput.setdefault(key, EwmaEstimate(self.alpha))
+        est.update(event.throughput)
+
+    def on_job_done(self, job: Job) -> None:
+        site = job.computing_site
+        if not site:
+            return
+        q = job.queuing_time
+        if q is not None:
+            self._site_queue.setdefault(site, EwmaEstimate(self.alpha)).update(q)
+        self._site_failure.setdefault(site, EwmaEstimate(self.alpha)).update(
+            0.0 if job.succeeded else 1.0
+        )
+
+    def note_backlog(self, site: str, delta: int) -> None:
+        self._site_backlog[site] = max(0, self._site_backlog.get(site, 0) + delta)
+
+    # -- estimates -----------------------------------------------------------------
+
+    def link_throughput(self, src: str, dst: str) -> float:
+        """Expected per-transfer throughput, with a topology-based prior."""
+        est = self._link_throughput.get((src, dst))
+        network = self.topology.network
+        assert network is not None
+        prior = network.profile(src, dst).nominal_bandwidth * 0.5
+        return est.get(prior) if est else prior
+
+    def expected_queue_wait(self, site_name: str) -> float:
+        """Expected queue wait from occupancy, backlog, and history."""
+        site = self.topology.site(site_name)
+        est = self._site_queue.get(site_name)
+        historical = est.get(120.0) if est else 120.0
+        # Pressure term: backlog plus occupancy relative to capacity.
+        backlog = self._site_backlog.get(site_name, 0)
+        pressure = (site.running_jobs + backlog) / max(1, site.compute_slots)
+        return historical * (0.5 + pressure)
+
+    def failure_rate(self, site_name: str) -> float:
+        est = self._site_failure.get(site_name)
+        return est.get(0.1) if est else 0.1
+
+    def estimate_staging_seconds(self, src: str, dst: str, nbytes: float) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / max(64_000.0, self.link_throughput(src, dst))

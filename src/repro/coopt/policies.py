@@ -1,0 +1,142 @@
+"""Operational mitigation policies.
+
+The concrete mitigations §5-§7 call for, in actionable form:
+
+* :class:`TransferDeduplicator` — suppresses transfers that would
+  re-copy a file to a destination it recently moved to (the Fig 12
+  redundancy, "in principle avoidable");
+* :func:`advise` — converts an anomaly report into prioritised
+  mitigation advice (which sites need parallel stage-in, where
+  re-brokerage would have helped, how many bytes dedup would save).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.anomaly.report import AnomalyReport
+from repro.rucio.transfer import TransferRequest
+from repro.units import bytes_to_human, seconds_to_human
+
+
+class TransferDeduplicator:
+    """Remembers recent (file, destination site) movements and rejects
+    repeats inside a time-to-live window."""
+
+    def __init__(self, ttl_seconds: float = 6 * 3600.0) -> None:
+        self.ttl_seconds = float(ttl_seconds)
+        self._recent: Dict[Tuple[str, str, str], float] = {}
+        self.suppressed = 0
+        self.suppressed_bytes = 0
+
+    def _key(self, req: TransferRequest, dest_site: str) -> Tuple[str, str, str]:
+        return (req.file_did.scope, req.file_did.name, dest_site)
+
+    def should_transfer(self, req: TransferRequest, dest_site: str, now: float) -> bool:
+        """False when an identical movement completed within the TTL."""
+        key = self._key(req, dest_site)
+        last = self._recent.get(key)
+        if last is not None and now - last < self.ttl_seconds:
+            self.suppressed += 1
+            self.suppressed_bytes += req.size
+            return False
+        self._recent[key] = now
+        return True
+
+    def expire(self, now: float) -> int:
+        """Drop entries older than the TTL; returns how many were removed."""
+        stale = [k for k, t in self._recent.items() if now - t >= self.ttl_seconds]
+        for k in stale:
+            del self._recent[k]
+        return len(stale)
+
+
+@dataclass(frozen=True)
+class MitigationAdvice:
+    priority: int  # 1 = highest
+    category: str
+    action: str
+    expected_benefit: str
+
+    def __str__(self) -> str:
+        return f"[P{self.priority}] {self.category}: {self.action} ({self.expected_benefit})"
+
+
+def advise(report: AnomalyReport) -> List[MitigationAdvice]:
+    """Prioritised mitigation advice from one anomaly report."""
+    advice: List[MitigationAdvice] = []
+
+    if report.redundant:
+        advice.append(
+            MitigationAdvice(
+                priority=1,
+                category="redundant-transfers",
+                action=(
+                    f"enable transfer deduplication; {len(report.redundant)} files "
+                    "were re-copied to the same destination"
+                ),
+                expected_benefit=f"save {bytes_to_human(report.wasted_bytes)} of movement",
+            )
+        )
+
+    sequential = [f for f in report.underutilization if f.sequential]
+    if sequential:
+        advice.append(
+            MitigationAdvice(
+                priority=1,
+                category="bandwidth-underutilization",
+                action=(
+                    f"enable parallel stage-in at affected sites "
+                    f"({len(sequential)} jobs staged sequentially)"
+                ),
+                expected_benefit=(
+                    f"recover {seconds_to_human(report.recoverable_queue_seconds)} of queue time"
+                ),
+            )
+        )
+
+    spanning = [a for a in report.staging if a.n_spanning]
+    if spanning:
+        failed = sum(1 for a in spanning if a.status == "failed")
+        advice.append(
+            MitigationAdvice(
+                priority=2,
+                category="prolonged-staging",
+                action=(
+                    f"re-broker or restage jobs whose transfers span into execution "
+                    f"({len(spanning)} jobs, {failed} failed)"
+                ),
+                expected_benefit="reduce the failure-enriched high-transfer-time tail",
+            )
+        )
+
+    if report.imbalance is not None and report.imbalance.is_extreme:
+        advice.append(
+            MitigationAdvice(
+                priority=3,
+                category="site-imbalance",
+                action=(
+                    f"rebalance placement: top cell carries "
+                    f"{report.imbalance.top1_share:.0%} of all volume "
+                    f"(gini {report.imbalance.gini:.2f})"
+                ),
+                expected_benefit="reduce hot-spot exposure and error concentration",
+            )
+        )
+
+    if report.inferences:
+        advice.append(
+            MitigationAdvice(
+                priority=4,
+                category="metadata-quality",
+                action=(
+                    f"backfill {len(report.inferences)} reconstructable UNKNOWN site "
+                    "labels into the transfer store"
+                ),
+                expected_benefit="convert RM2-only matches into exact matches",
+            )
+        )
+
+    advice.sort(key=lambda a: a.priority)
+    return advice

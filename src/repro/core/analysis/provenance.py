@@ -1,0 +1,125 @@
+"""Job-level provenance graphs.
+
+§6 closes with the suggestion that "future iterations of challenges and
+demonstrations incorporate **job-level provenance** and correlation to
+target end-to-end performance rather than transfer throughput alone."
+
+Given matched jobs, this module builds the provenance graph connecting
+jobs ← transfers ← source sites (and onwards to destination sites), so
+end-to-end questions become graph queries: which storage fed this
+job?  which sites feed the most failed work?  how concentrated is the
+feeding structure (a resilience risk)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.matching.base import JobMatch
+from repro.telemetry.records import UNKNOWN_SITE
+
+#: node kind attribute values
+KIND_JOB = "job"
+KIND_TRANSFER = "transfer"
+KIND_SITE = "site"
+
+
+def build_provenance_graph(matches: Sequence[JobMatch]) -> nx.DiGraph:
+    """Directed graph: source site → transfer → job.
+
+    Node names: ``site:<name>``, ``xfer:<row_id>``, ``job:<pandaid>``.
+    Edges carry ``bytes`` where meaningful.
+    """
+    g = nx.DiGraph()
+    for m in matches:
+        job_node = f"job:{m.job.pandaid}"
+        g.add_node(job_node, kind=KIND_JOB, status=m.job.status,
+                   site=m.job.computingsite)
+        for t in m.transfers:
+            xfer_node = f"xfer:{t.row_id}"
+            g.add_node(xfer_node, kind=KIND_TRANSFER, bytes=t.file_size,
+                       activity=t.activity)
+            src_node = f"site:{t.source_site or UNKNOWN_SITE}"
+            g.add_node(src_node, kind=KIND_SITE)
+            g.add_edge(src_node, xfer_node, bytes=t.file_size)
+            g.add_edge(xfer_node, job_node, bytes=t.file_size)
+    return g
+
+
+def feeding_sites(g: nx.DiGraph, pandaid: int) -> List[str]:
+    """Which sites' storage fed this job (2 hops upstream)."""
+    job_node = f"job:{pandaid}"
+    if job_node not in g:
+        return []
+    sites = set()
+    for xfer in g.predecessors(job_node):
+        for site in g.predecessors(xfer):
+            sites.add(site.split(":", 1)[1])
+    return sorted(sites)
+
+
+def site_feed_stats(g: nx.DiGraph) -> Dict[str, Tuple[int, float]]:
+    """Per source site: (jobs fed, bytes served)."""
+    out: Dict[str, Tuple[int, float]] = {}
+    for node, data in g.nodes(data=True):
+        if data.get("kind") != KIND_SITE:
+            continue
+        site = node.split(":", 1)[1]
+        jobs = set()
+        total = 0.0
+        for xfer in g.successors(node):
+            total += g.nodes[xfer].get("bytes", 0)
+            jobs.update(g.successors(xfer))
+        out[site] = (len(jobs), total)
+    return out
+
+
+def failed_feed_fraction(g: nx.DiGraph, site: str) -> float:
+    """Fraction of the jobs fed by ``site`` that failed — a per-source
+    risk measure."""
+    node = f"site:{site}"
+    if node not in g:
+        return 0.0
+    jobs = set()
+    for xfer in g.successors(node):
+        jobs.update(g.successors(xfer))
+    if not jobs:
+        return 0.0
+    failed = sum(1 for j in jobs if g.nodes[j].get("status") == "failed")
+    return failed / len(jobs)
+
+
+@dataclass(frozen=True)
+class ProvenanceSummary:
+    n_jobs: int
+    n_transfers: int
+    n_source_sites: int
+    #: share of served bytes from the single busiest source
+    top_source_share: float
+    #: mean number of distinct sources per job
+    mean_sources_per_job: float
+
+
+def summarize(g: nx.DiGraph) -> ProvenanceSummary:
+    jobs = [n for n, d in g.nodes(data=True) if d.get("kind") == KIND_JOB]
+    transfers = [n for n, d in g.nodes(data=True) if d.get("kind") == KIND_TRANSFER]
+    stats = site_feed_stats(g)
+    total_bytes = sum(b for _, b in stats.values())
+    top_share = (
+        max(b for _, b in stats.values()) / total_bytes
+        if stats and total_bytes else 0.0
+    )
+    per_job = []
+    for j in jobs:
+        pid = int(j.split(":", 1)[1])
+        per_job.append(len(feeding_sites(g, pid)))
+    return ProvenanceSummary(
+        n_jobs=len(jobs),
+        n_transfers=len(transfers),
+        n_source_sites=len(stats),
+        top_source_share=top_share,
+        mean_sources_per_job=float(sum(per_job) / len(per_job)) if per_job else 0.0,
+    )

@@ -1,0 +1,112 @@
+"""Per-site operational dashboards.
+
+Aggregates everything an operator needs per site — job throughput and
+failure rates, queuing statistics, inbound/outbound traffic, and error
+composition — in one pass over the degraded records.  This is the
+"site view" that turns the paper's global diagnoses (hot spots,
+imbalance, shifted error patterns) into actionable per-site facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.analysis.errors import ErrorFamily, ErrorMix, error_mix
+from repro.telemetry.records import JobRecord, TransferRecord, UNKNOWN_SITE
+
+
+@dataclass
+class SiteDashboard:
+    """One site's operational summary."""
+
+    site: str
+    n_jobs: int = 0
+    n_failed: int = 0
+    queue_times: List[float] = field(default_factory=list)
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    bytes_local: float = 0.0
+    error_mix: ErrorMix = field(
+        default_factory=lambda: ErrorMix(0, 0, {}, {}))
+
+    @property
+    def failure_rate(self) -> float:
+        return self.n_failed / self.n_jobs if self.n_jobs else 0.0
+
+    @property
+    def mean_queue(self) -> float:
+        return float(np.mean(self.queue_times)) if self.queue_times else 0.0
+
+    @property
+    def p95_queue(self) -> float:
+        return float(np.percentile(self.queue_times, 95)) if self.queue_times else 0.0
+
+    @property
+    def net_flow(self) -> float:
+        """Positive = net importer of data."""
+        return self.bytes_in - self.bytes_out
+
+    @property
+    def dominant_error_family(self) -> ErrorFamily:
+        return self.error_mix.dominant_family()
+
+
+def build_dashboards(
+    jobs: Sequence[JobRecord],
+    transfers: Sequence[TransferRecord],
+) -> Dict[str, SiteDashboard]:
+    """One pass over both record sets; returns site -> dashboard."""
+    boards: Dict[str, SiteDashboard] = {}
+
+    def board(site: str) -> SiteDashboard:
+        if site not in boards:
+            boards[site] = SiteDashboard(site=site)
+        return boards[site]
+
+    jobs_by_site: Dict[str, List[JobRecord]] = {}
+    for j in jobs:
+        site = j.computingsite or UNKNOWN_SITE
+        b = board(site)
+        b.n_jobs += 1
+        if not j.succeeded:
+            b.n_failed += 1
+        q = j.queuing_time
+        if q is not None:
+            b.queue_times.append(q)
+        jobs_by_site.setdefault(site, []).append(j)
+
+    for site, js in jobs_by_site.items():
+        boards[site].error_mix = error_mix(js)
+
+    for t in transfers:
+        src = t.source_site or UNKNOWN_SITE
+        dst = t.destination_site or UNKNOWN_SITE
+        if src == dst:
+            board(src).bytes_local += t.file_size
+        else:
+            board(src).bytes_out += t.file_size
+            board(dst).bytes_in += t.file_size
+
+    return boards
+
+
+def hottest_sites(
+    boards: Dict[str, SiteDashboard], by: str = "failure_rate", top: int = 5,
+    min_jobs: int = 10,
+) -> List[SiteDashboard]:
+    """Rank sites by a dashboard attribute (failure_rate, p95_queue, ...)."""
+    eligible = [b for b in boards.values() if b.n_jobs >= min_jobs]
+    return sorted(eligible, key=lambda b: -getattr(b, by))[:top]
+
+
+def importers_and_exporters(
+    boards: Dict[str, SiteDashboard], top: int = 5
+) -> tuple[List[SiteDashboard], List[SiteDashboard]]:
+    """Largest net data importers and exporters."""
+    ranked = sorted(boards.values(), key=lambda b: b.net_flow)
+    exporters = [b for b in ranked[:top] if b.net_flow < 0]
+    importers = [b for b in ranked[::-1][:top] if b.net_flow > 0]
+    return importers, exporters

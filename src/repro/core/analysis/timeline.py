@@ -1,0 +1,193 @@
+"""Per-job matching timelines (Figs 10-12) and case-study selection.
+
+A :class:`JobTimeline` renders one matched job the way the paper's case
+studies do: creation / start / end markers with every matched transfer's
+interval, throughput, and phase attribution — enough to diagnose
+sequential staging (Fig 10), queue+wall-spanning transfers (Fig 11),
+and duplicated transfer sets (Fig 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.matching.base import JobMatch
+from repro.telemetry.records import TransferRecord
+
+
+@dataclass(frozen=True)
+class TimelineTransfer:
+    """One transfer placed on the job's time axis (relative seconds)."""
+
+    index: int
+    rel_start: float
+    rel_end: float
+    file_size: int
+    throughput: float
+    source_site: str
+    destination_site: str
+    activity: str
+
+    @property
+    def duration(self) -> float:
+        return self.rel_end - self.rel_start
+
+
+@dataclass
+class JobTimeline:
+    """Fig 10/11/12-style view of one matched job."""
+
+    pandaid: int
+    status: str
+    error_code: int
+    error_message: str
+    queuing_time: float
+    wall_time: float
+    transfers: List[TimelineTransfer]
+
+    @property
+    def lifetime(self) -> float:
+        return self.queuing_time + self.wall_time
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        return sum(t.file_size for t in self.transfers)
+
+    def throughput_spread(self) -> float:
+        """Max/min achieved throughput across transfers — Fig 10's 17.7x
+        evidence of inconsistent local bandwidth."""
+        rates = [t.throughput for t in self.transfers if t.throughput > 0]
+        if len(rates) < 2:
+            return 1.0
+        return max(rates) / min(rates)
+
+    def transfers_are_sequential(self, tolerance: float = 1.0) -> bool:
+        """True when no two transfers overlap (beyond ``tolerance``
+        seconds) — Fig 10's "transfers occurred sequentially rather than
+        in parallel" signature."""
+        spans = sorted((t.rel_start, t.rel_end) for t in self.transfers)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            if s2 < e1 - tolerance:
+                return False
+        return True
+
+    def transfers_spanning_execution(self) -> List[TimelineTransfer]:
+        """Transfers crossing from the queuing phase into wall time —
+        the Fig 11 anomaly ("span across both the job queuing time and
+        execution time")."""
+        return [
+            t
+            for t in self.transfers
+            if t.rel_start < self.queuing_time < t.rel_end
+        ]
+
+    def queue_transfer_fraction(self) -> float:
+        """Union transfer time within the queue / queuing time."""
+        if self.queuing_time <= 0:
+            return 0.0
+        clipped = sorted(
+            (max(0.0, t.rel_start), min(self.queuing_time, t.rel_end))
+            for t in self.transfers
+            if min(self.queuing_time, t.rel_end) > max(0.0, t.rel_start)
+        )
+        total, cur_s, cur_e = 0.0, None, 0.0
+        for a, b in clipped:
+            if cur_s is None:
+                cur_s, cur_e = a, b
+            elif a <= cur_e:
+                cur_e = max(cur_e, b)
+            else:
+                total += cur_e - cur_s
+                cur_s, cur_e = a, b
+        if cur_s is not None:
+            total += cur_e - cur_s
+        return total / self.queuing_time
+
+
+def build_timeline(match: JobMatch) -> Optional[JobTimeline]:
+    """Timeline for one matched job; None when lifecycle times missing."""
+    job = match.job
+    if job.starttime is None or job.endtime is None:
+        return None
+    t0 = job.creationtime
+    transfers = [
+        TimelineTransfer(
+            index=i,
+            rel_start=t.starttime - t0,
+            rel_end=t.endtime - t0,
+            file_size=t.file_size,
+            throughput=t.throughput,
+            source_site=t.source_site,
+            destination_site=t.destination_site,
+            activity=t.activity,
+        )
+        for i, t in enumerate(sorted(match.transfers, key=lambda t: t.starttime))
+    ]
+    return JobTimeline(
+        pandaid=job.pandaid,
+        status=job.status,
+        error_code=job.error_code,
+        error_message=job.error_message,
+        queuing_time=job.starttime - job.creationtime,
+        wall_time=job.endtime - job.starttime,
+        transfers=transfers,
+    )
+
+
+# -- case-study selectors ------------------------------------------------------
+
+
+def find_high_staging_success(
+    matches: Sequence[JobMatch], min_fraction: float = 0.5
+) -> List[JobTimeline]:
+    """Fig 10 candidates: successful jobs whose queue was dominated by
+    (local) transfers, sorted by staging fraction descending."""
+    out = []
+    for m in matches:
+        if m.job.status != "finished":
+            continue
+        tl = build_timeline(m)
+        if tl is None or len(tl.transfers) < 2:
+            continue
+        if tl.queue_transfer_fraction() >= min_fraction:
+            out.append(tl)
+    out.sort(key=lambda t: -t.queue_transfer_fraction())
+    return out
+
+
+def find_failed_with_overlap(matches: Sequence[JobMatch]) -> List[JobTimeline]:
+    """Fig 11 candidates: failed jobs with a transfer spanning queue and
+    wall time, sorted by the spanning transfer's share of the lifetime."""
+    out = []
+    for m in matches:
+        if m.job.status != "failed":
+            continue
+        tl = build_timeline(m)
+        if tl is None:
+            continue
+        spanning = tl.transfers_spanning_execution()
+        if spanning:
+            out.append(tl)
+    out.sort(
+        key=lambda t: -max(
+            (x.duration for x in t.transfers_spanning_execution()), default=0.0
+        )
+    )
+    return out
+
+
+def find_sequential_underutilized(
+    matches: Sequence[JobMatch], min_spread: float = 5.0
+) -> List[JobTimeline]:
+    """Jobs showing both sequential staging and a large throughput
+    spread — the combined Fig 10 signature."""
+    out = []
+    for m in matches:
+        tl = build_timeline(m)
+        if tl is None or len(tl.transfers) < 2:
+            continue
+        if tl.transfers_are_sequential() and tl.throughput_spread() >= min_spread:
+            out.append(tl)
+    out.sort(key=lambda t: -t.throughput_spread())
+    return out

@@ -1,0 +1,47 @@
+"""Anomaly detection over matched jobs and transfer records.
+
+Automates the manual diagnoses of §5.3-5.4, as §7 recommends
+("future efforts should focus on automating anomaly detection"):
+
+* :mod:`redundant` — duplicated transfer sets (Fig 12 / Table 3);
+* :mod:`staging` — prolonged staging delays and queue+wall-spanning
+  transfers (Fig 11);
+* :mod:`underutil` — sequential staging and throughput spread
+  (Fig 10's bandwidth under-utilization);
+* :mod:`imbalance` — spatial imbalance of the site matrix (Fig 3);
+* :mod:`inference` — reconstructing UNKNOWN site labels from RM2
+  matches (Table 3's destination recovery);
+* :mod:`report` — one aggregated anomaly report.
+"""
+
+from repro.core.anomaly.redundant import RedundantGroup, find_redundant_transfers
+from repro.core.anomaly.staging import StagingAnomaly, find_staging_anomalies
+from repro.core.anomaly.underutil import UnderutilizationFinding, find_underutilization
+from repro.core.anomaly.imbalance import ImbalanceStats, assess_imbalance
+from repro.core.anomaly.inference import SiteInference, infer_unknown_sites
+from repro.core.anomaly.report import AnomalyReport, build_anomaly_report
+from repro.core.anomaly.monitor import (
+    Alert,
+    AlertKind,
+    MonitorConfig,
+    StreamingAnomalyMonitor,
+)
+
+__all__ = [
+    "Alert",
+    "AlertKind",
+    "MonitorConfig",
+    "StreamingAnomalyMonitor",
+    "RedundantGroup",
+    "find_redundant_transfers",
+    "StagingAnomaly",
+    "find_staging_anomalies",
+    "UnderutilizationFinding",
+    "find_underutilization",
+    "ImbalanceStats",
+    "assess_imbalance",
+    "SiteInference",
+    "infer_unknown_sites",
+    "AnomalyReport",
+    "build_anomaly_report",
+]

@@ -1,0 +1,188 @@
+"""Online anomaly monitoring.
+
+§7: "Future efforts should focus on automating anomaly detection based
+on transfer-time thresholds."  This module is that automation: a
+streaming monitor that consumes matched jobs (and raw transfer records)
+as they arrive, raises typed alerts immediately, and keeps per-site
+exponentially-decayed alert rates so operators can see *where* the
+grid is degrading — no batch re-analysis required.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analysis.timeline import build_timeline
+from repro.core.matching.base import JobMatch
+from repro.telemetry.records import TransferRecord
+
+
+class AlertKind(enum.Enum):
+    HIGH_TRANSFER_TIME = "high-transfer-time"       # Fig 9 tail
+    SPANNING_TRANSFER = "spanning-transfer"         # Fig 11
+    SEQUENTIAL_STAGING = "sequential-staging"       # Fig 10
+    THROUGHPUT_SPREAD = "throughput-spread"         # Fig 10
+    REDUNDANT_TRANSFER = "redundant-transfer"       # Fig 12
+
+
+@dataclass(frozen=True)
+class Alert:
+    kind: AlertKind
+    time: float
+    pandaid: int
+    site: str
+    detail: str
+    severity: float  # 0..1, for ranking
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind.value}] job {self.pandaid} @ {self.site or '?'}: "
+            f"{self.detail} (sev {self.severity:.2f})"
+        )
+
+
+@dataclass
+class MonitorConfig:
+    """Alerting thresholds (paper-derived defaults)."""
+
+    #: transfer-time share of queue above which a job alerts (Fig 9's T)
+    transfer_time_threshold: float = 0.75
+    #: throughput max/min spread above which a job alerts (Fig 10: 17.7x)
+    spread_threshold: float = 10.0
+    #: minimum transfers before sequential staging is reportable
+    min_transfers_for_sequential: int = 2
+    #: time window for online redundancy detection
+    redundancy_ttl: float = 6 * 3600.0
+    #: decay factor for per-site alert rates
+    ewma_alpha: float = 0.1
+
+
+class StreamingAnomalyMonitor:
+    """Consume events as they happen; raise alerts; track site health."""
+
+    def __init__(self, config: Optional[MonitorConfig] = None) -> None:
+        self.config = config or MonitorConfig()
+        self.alerts: List[Alert] = []
+        self.jobs_observed = 0
+        self.transfers_observed = 0
+        #: site -> EWMA of alerts-per-observed-job
+        self._site_rate: Dict[str, float] = {}
+        #: (scope, lfn, dest) -> last transfer start, for redundancy
+        self._recent: Dict[Tuple[str, str, str], float] = {}
+
+    # -- job-level observation ---------------------------------------------------
+
+    def observe_match(self, match: JobMatch) -> List[Alert]:
+        """Feed one matched job; returns the alerts it raised."""
+        self.jobs_observed += 1
+        cfg = self.config
+        raised: List[Alert] = []
+        tl = build_timeline(match)
+        site = match.job.computingsite
+        now = match.job.endtime or 0.0
+        if tl is None:
+            self._note(site, 0)
+            return raised
+
+        frac = tl.queue_transfer_fraction()
+        if frac >= cfg.transfer_time_threshold:
+            raised.append(Alert(
+                kind=AlertKind.HIGH_TRANSFER_TIME, time=now,
+                pandaid=tl.pandaid, site=site,
+                detail=f"{frac:.0%} of queue spent transferring",
+                severity=min(1.0, frac),
+            ))
+
+        spanning = tl.transfers_spanning_execution()
+        if spanning:
+            share = max(x.duration for x in spanning) / max(tl.lifetime, 1e-9)
+            raised.append(Alert(
+                kind=AlertKind.SPANNING_TRANSFER, time=now,
+                pandaid=tl.pandaid, site=site,
+                detail=f"{len(spanning)} transfer(s) span queue and wall",
+                severity=min(1.0, share),
+            ))
+
+        if len(tl.transfers) >= cfg.min_transfers_for_sequential:
+            if tl.transfers_are_sequential():
+                raised.append(Alert(
+                    kind=AlertKind.SEQUENTIAL_STAGING, time=now,
+                    pandaid=tl.pandaid, site=site,
+                    detail=f"{len(tl.transfers)} transfers never overlapped",
+                    severity=0.5,
+                ))
+            spread = tl.throughput_spread()
+            if spread >= cfg.spread_threshold:
+                raised.append(Alert(
+                    kind=AlertKind.THROUGHPUT_SPREAD, time=now,
+                    pandaid=tl.pandaid, site=site,
+                    detail=f"throughput varied {spread:.1f}x within one job",
+                    severity=min(1.0, spread / (cfg.spread_threshold * 4)),
+                ))
+
+        self.alerts.extend(raised)
+        self._note(site, len(raised))
+        return raised
+
+    # -- transfer-level observation --------------------------------------------------
+
+    def observe_transfer(self, record: TransferRecord) -> Optional[Alert]:
+        """Feed one raw transfer record (for online redundancy checks)."""
+        self.transfers_observed += 1
+        if not record.is_download:
+            return None
+        key = (record.scope, record.lfn, record.destination_site)
+        last = self._recent.get(key)
+        self._recent[key] = record.starttime
+        if last is not None and 0 < record.starttime - last < self.config.redundancy_ttl:
+            alert = Alert(
+                kind=AlertKind.REDUNDANT_TRANSFER, time=record.starttime,
+                pandaid=0, site=record.destination_site,
+                detail=(
+                    f"{record.scope}:{record.lfn} re-copied "
+                    f"{record.starttime - last:.0f}s after previous copy"
+                ),
+                severity=0.6,
+            )
+            self.alerts.append(alert)
+            return alert
+        return None
+
+    # -- health state ---------------------------------------------------------------
+
+    def _note(self, site: str, n_alerts: int) -> None:
+        if not site:
+            return
+        a = self.config.ewma_alpha
+        prev = self._site_rate.get(site, 0.0)
+        self._site_rate[site] = (1 - a) * prev + a * float(n_alerts)
+
+    def site_alert_rate(self, site: str) -> float:
+        return self._site_rate.get(site, 0.0)
+
+    def worst_sites(self, top: int = 5) -> List[Tuple[str, float]]:
+        ranked = sorted(self._site_rate.items(), key=lambda kv: -kv[1])
+        return [(s, r) for s, r in ranked[:top] if r > 0]
+
+    def counts_by_kind(self) -> Dict[AlertKind, int]:
+        out: Dict[AlertKind, int] = {k: 0 for k in AlertKind}
+        for a in self.alerts:
+            out[a.kind] += 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts_by_kind()
+        lines = [
+            f"observed: {self.jobs_observed} matched jobs, "
+            f"{self.transfers_observed} transfers; {len(self.alerts)} alerts"
+        ]
+        for kind, n in counts.items():
+            if n:
+                lines.append(f"  {kind.value:<22s} {n}")
+        worst = self.worst_sites()
+        if worst:
+            lines.append("  hottest sites: " + ", ".join(
+                f"{s} ({r:.2f})" for s, r in worst))
+        return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Redundant transfer detection (Fig 12 / Table 3).
+
+The Fig 12 case study found the same three files transferred twice for
+one job — "redundant file-transfer patterns, which are in principle
+avoidable".  The detector groups transfer records by file identity
+(scope, lfn, true-size bucket) and flags groups where the same file
+moved toward the same effective destination more than once within a
+time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.telemetry.records import UNKNOWN_SITE, TransferRecord
+
+
+@dataclass
+class RedundantGroup:
+    """One file that moved repeatedly to the same destination."""
+
+    scope: str
+    lfn: str
+    destination: str
+    transfers: List[TransferRecord]
+
+    @property
+    def n_copies(self) -> int:
+        return len(self.transfers)
+
+    @property
+    def wasted_bytes(self) -> int:
+        """Bytes moved beyond the first, necessary copy."""
+        return sum(t.file_size for t in self.transfers[1:])
+
+    @property
+    def span_seconds(self) -> float:
+        starts = [t.starttime for t in self.transfers]
+        return max(starts) - min(starts)
+
+
+def find_redundant_transfers(
+    transfers: Sequence[TransferRecord],
+    window_seconds: float = 6 * 3600.0,
+    treat_unknown_as_wildcard: bool = True,
+    downloads_only: bool = True,
+) -> List[RedundantGroup]:
+    """Groups of repeated same-file, same-destination transfers.
+
+    With ``treat_unknown_as_wildcard`` an UNKNOWN destination is merged
+    with any *known* destination group of the same file that has a
+    transfer within the window — the Fig 12 situation where the first
+    copy's destination was lost but the repetition is still detectable.
+    """
+    by_file: Dict[Tuple[str, str], List[TransferRecord]] = {}
+    for t in transfers:
+        if downloads_only and not t.is_download:
+            continue
+        by_file.setdefault((t.scope, t.lfn), []).append(t)
+
+    groups: List[RedundantGroup] = []
+    for (scope, lfn), recs in by_file.items():
+        if len(recs) < 2:
+            continue
+        recs.sort(key=lambda r: r.starttime)
+        by_dest: Dict[str, List[TransferRecord]] = {}
+        unknowns: List[TransferRecord] = []
+        for r in recs:
+            if r.destination_site == UNKNOWN_SITE and treat_unknown_as_wildcard:
+                unknowns.append(r)
+            else:
+                by_dest.setdefault(r.destination_site, []).append(r)
+        # Fold unknown-destination records into the temporally closest
+        # known-destination group (if any within the window).
+        for u in unknowns:
+            best_dest, best_gap = None, window_seconds
+            for dest, lst in by_dest.items():
+                gap = min(abs(u.starttime - x.starttime) for x in lst)
+                if gap <= best_gap:
+                    best_dest, best_gap = dest, gap
+            if best_dest is not None:
+                by_dest[best_dest].append(u)
+            else:
+                by_dest.setdefault(UNKNOWN_SITE, []).append(u)
+        for dest, lst in by_dest.items():
+            lst.sort(key=lambda r: r.starttime)
+            # Count repeats inside the window of the first transfer.
+            clustered = [
+                r for r in lst if r.starttime - lst[0].starttime <= window_seconds
+            ]
+            if len(clustered) >= 2:
+                groups.append(
+                    RedundantGroup(scope=scope, lfn=lfn, destination=dest, transfers=clustered)
+                )
+    groups.sort(key=lambda g: -g.wasted_bytes)
+    return groups
+
+
+def total_wasted_bytes(groups: Sequence[RedundantGroup]) -> int:
+    return sum(g.wasted_bytes for g in groups)

@@ -1,0 +1,91 @@
+"""Prolonged staging detection (Fig 11, §5.3).
+
+Flags matched jobs whose queue time was dominated by transfers, and the
+stronger anomaly of transfers spanning from the queuing phase into
+execution ("anomalous operation likely caused by errors").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.analysis.timeline import JobTimeline, build_timeline
+from repro.core.matching.base import JobMatch
+
+
+class StagingSeverity(enum.IntEnum):
+    ELEVATED = 1    # transfer-time fraction above the threshold
+    DOMINANT = 2    # transfers dominate the queue (>75%, the Fig 9 tail)
+    SPANNING = 3    # a transfer crosses into execution (the Fig 11 case)
+
+
+@dataclass
+class StagingAnomaly:
+    pandaid: int
+    severity: StagingSeverity
+    queue_fraction: float
+    status: str
+    error_code: int
+    n_spanning: int
+    timeline: JobTimeline
+
+    def __str__(self) -> str:
+        return (
+            f"job {self.pandaid}: staging {self.severity.name.lower()} "
+            f"({self.queue_fraction:.0%} of queue, {self.n_spanning} spanning, "
+            f"status={self.status})"
+        )
+
+
+def classify_staging(match: JobMatch, elevated_threshold: float = 0.10,
+                     dominant_threshold: float = 0.75) -> Optional[StagingAnomaly]:
+    """Classify one matched job; None when staging was unremarkable."""
+    tl = build_timeline(match)
+    if tl is None:
+        return None
+    frac = tl.queue_transfer_fraction()
+    spanning = tl.transfers_spanning_execution()
+    if spanning:
+        severity = StagingSeverity.SPANNING
+    elif frac >= dominant_threshold:
+        severity = StagingSeverity.DOMINANT
+    elif frac >= elevated_threshold:
+        severity = StagingSeverity.ELEVATED
+    else:
+        return None
+    return StagingAnomaly(
+        pandaid=match.job.pandaid,
+        severity=severity,
+        queue_fraction=frac,
+        status=match.job.status,
+        error_code=match.job.error_code,
+        n_spanning=len(spanning),
+        timeline=tl,
+    )
+
+
+def find_staging_anomalies(
+    matches: Sequence[JobMatch],
+    elevated_threshold: float = 0.10,
+    dominant_threshold: float = 0.75,
+) -> List[StagingAnomaly]:
+    out = []
+    for m in matches:
+        a = classify_staging(m, elevated_threshold, dominant_threshold)
+        if a is not None:
+            out.append(a)
+    out.sort(key=lambda a: (-int(a.severity), -a.queue_fraction))
+    return out
+
+
+def failure_rate_by_severity(anomalies: Sequence[StagingAnomaly]) -> dict:
+    """Failed fraction per severity class — quantifying the paper's
+    'most of these extreme cases correspond to failed jobs'."""
+    out = {}
+    for sev in StagingSeverity:
+        group = [a for a in anomalies if a.severity is sev]
+        if group:
+            out[sev] = sum(1 for a in group if a.status == "failed") / len(group)
+    return out

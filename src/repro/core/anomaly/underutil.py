@@ -1,0 +1,84 @@
+"""Bandwidth under-utilization detection (Fig 10, §5.4).
+
+Two signatures, observable purely from matched transfer timelines:
+
+* **sequential staging** — a job's transfers never overlap although the
+  site link could have carried them in parallel ("the underlying file
+  transfer mechanism doesn't enable parallel file transfers at every
+  site");
+* **throughput spread** — transfers on the same link within one job
+  differ by large factors (17.7x in Fig 10), evidence the link was not
+  utilised consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.analysis.timeline import JobTimeline, build_timeline
+from repro.core.matching.base import JobMatch
+
+
+@dataclass
+class UnderutilizationFinding:
+    pandaid: int
+    sequential: bool
+    throughput_spread: float
+    n_transfers: int
+    total_bytes: int
+    #: time the job *could* have saved with perfect overlap: the gap
+    #: between the serial sum of durations and the longest single one.
+    parallelism_headroom_seconds: float
+    timeline: JobTimeline
+
+    def __str__(self) -> str:
+        kind = "sequential" if self.sequential else "spread"
+        return (
+            f"job {self.pandaid}: {kind} staging, spread {self.throughput_spread:.1f}x, "
+            f"headroom {self.parallelism_headroom_seconds:.0f}s over {self.n_transfers} transfers"
+        )
+
+
+def assess_job(
+    match: JobMatch,
+    min_transfers: int = 2,
+    spread_threshold: float = 5.0,
+) -> Optional[UnderutilizationFinding]:
+    tl = build_timeline(match)
+    if tl is None or len(tl.transfers) < min_transfers:
+        return None
+    sequential = tl.transfers_are_sequential()
+    spread = tl.throughput_spread()
+    if not sequential and spread < spread_threshold:
+        return None
+    durations = [t.duration for t in tl.transfers]
+    headroom = max(0.0, sum(durations) - max(durations)) if sequential else 0.0
+    return UnderutilizationFinding(
+        pandaid=match.job.pandaid,
+        sequential=sequential,
+        throughput_spread=spread,
+        n_transfers=len(tl.transfers),
+        total_bytes=tl.total_transfer_bytes,
+        parallelism_headroom_seconds=headroom,
+        timeline=tl,
+    )
+
+
+def find_underutilization(
+    matches: Sequence[JobMatch],
+    min_transfers: int = 2,
+    spread_threshold: float = 5.0,
+) -> List[UnderutilizationFinding]:
+    out = []
+    for m in matches:
+        f = assess_job(m, min_transfers, spread_threshold)
+        if f is not None:
+            out.append(f)
+    out.sort(key=lambda f: -f.parallelism_headroom_seconds)
+    return out
+
+
+def total_headroom_seconds(findings: Sequence[UnderutilizationFinding]) -> float:
+    """Aggregate queue time recoverable by enabling parallel stage-in."""
+    return sum(f.parallelism_headroom_seconds for f in findings)

@@ -1,0 +1,224 @@
+"""Shared matcher machinery.
+
+All three matchers share the candidate-generation stage of Algorithm 1
+— the hash join jobs → files → transfers over
+``(jeditaskid, lfn, dataset, proddblock, scope, file_size)`` — and
+differ only in the final per-job filtering.  The join is built on dict
+indices so the whole pass is O(|J| + |F| + |T|) instead of the naive
+O(|J|·|T|): the "scalable matching algorithms" §4 requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
+
+
+class TransferClass(enum.Enum):
+    """Locality classification of a matched job's transfer set (Table 2b)."""
+
+    ALL_LOCAL = "all_local"
+    ALL_REMOTE = "all_remote"
+    MIXED = "mixed"
+
+
+@dataclass
+class JobMatch:
+    """One element of the output mapping set M: a job and its transfers."""
+
+    job: JobRecord
+    transfers: List[TransferRecord]
+
+    @property
+    def n_transfers(self) -> int:
+        return len(self.transfers)
+
+    @property
+    def n_local(self) -> int:
+        return sum(1 for t in self.transfers if t.is_local)
+
+    @property
+    def n_remote(self) -> int:
+        return len(self.transfers) - self.n_local
+
+    @property
+    def transfer_class(self) -> TransferClass:
+        local = self.n_local
+        if local == len(self.transfers):
+            return TransferClass.ALL_LOCAL
+        if local == 0:
+            return TransferClass.ALL_REMOTE
+        return TransferClass.MIXED
+
+    def downloads(self) -> List[TransferRecord]:
+        return [t for t in self.transfers if t.is_download]
+
+    def uploads(self) -> List[TransferRecord]:
+        return [t for t in self.transfers if t.is_upload]
+
+
+@dataclass
+class MatchResult:
+    """Output of one matcher over one pre-selected window."""
+
+    method: str
+    matches: List[JobMatch]
+    n_jobs_considered: int
+    n_transfers_considered: int
+
+    def matched_jobs(self) -> List[JobMatch]:
+        return [m for m in self.matches if m.transfers]
+
+    @property
+    def n_matched_jobs(self) -> int:
+        return len(self.matched_jobs())
+
+    def matched_transfer_ids(self) -> Set[int]:
+        return {t.row_id for m in self.matches for t in m.transfers}
+
+    @property
+    def n_matched_transfers(self) -> int:
+        return len(self.matched_transfer_ids())
+
+    def matched_pairs(self) -> List[Tuple[int, int]]:
+        """(pandaid, transfer row_id) pairs — the evaluation unit."""
+        return [(m.job.pandaid, t.row_id) for m in self.matches for t in m.transfers]
+
+    def jobs_by_class(self) -> Dict[TransferClass, int]:
+        out = {c: 0 for c in TransferClass}
+        for m in self.matched_jobs():
+            out[m.transfer_class] += 1
+        return out
+
+    def local_remote_split(self) -> Tuple[int, int]:
+        """(local, remote) counts over matched transfers (deduplicated)."""
+        seen: Set[int] = set()
+        local = remote = 0
+        for m in self.matches:
+            for t in m.transfers:
+                if t.row_id in seen:
+                    continue
+                seen.add(t.row_id)
+                if t.is_local:
+                    local += 1
+                else:
+                    remote += 1
+        return local, remote
+
+
+class CandidateIndex:
+    """The jobs → files → transfers hash join of Algorithm 1.
+
+    Built once per window; each matcher queries
+    :meth:`candidates_for_job` to get T'_j.
+    """
+
+    def __init__(
+        self,
+        files: Sequence[FileRecord],
+        transfers: Sequence[TransferRecord],
+    ) -> None:
+        # F'_j: file rows grouped by (pandaid, jeditaskid).
+        self._files_by_job: Dict[Tuple[int, int], List[FileRecord]] = {}
+        for f in files:
+            self._files_by_job.setdefault((f.pandaid, f.jeditaskid), []).append(f)
+
+        # Transfer rows by (jeditaskid, lfn); rows without a task id can
+        # never be reached by the join (the paper's 77% invisible mass).
+        self._transfers_by_key: Dict[Tuple[int, str], List[TransferRecord]] = {}
+        for t in transfers:
+            if t.jeditaskid:
+                self._transfers_by_key.setdefault((t.jeditaskid, t.lfn), []).append(t)
+
+    def files_for_job(self, job: JobRecord) -> List[FileRecord]:
+        return self._files_by_job.get((job.pandaid, job.jeditaskid), [])
+
+    def candidates_for_job(self, job: JobRecord) -> List[TransferRecord]:
+        """T'_j: transfers attribute-matching any of the job's files.
+
+        Attribute equality covers lfn (via the index key), dataset,
+        proddblock, scope, and file_size, exactly as Algorithm 1 lists.
+        """
+        out: List[TransferRecord] = []
+        seen: Set[int] = set()
+        for f in self.files_for_job(job):
+            for t in self._transfers_by_key.get((job.jeditaskid, f.lfn), []):
+                if t.row_id in seen:
+                    continue
+                if (
+                    t.dataset == f.dataset
+                    and t.proddblock == f.proddblock
+                    and t.scope == f.scope
+                    and t.file_size == f.file_size
+                ):
+                    seen.add(t.row_id)
+                    out.append(t)
+        return out
+
+
+class BaseMatcher:
+    """Template: candidate join + method-specific final filter."""
+
+    #: Overridden by concrete matchers.
+    name = "base"
+
+    def __init__(self, known_sites: Optional[Set[str]] = None) -> None:
+        #: Site names considered *valid*; anything else counts as an
+        #: invalid/unknown label for RM2's relaxation.
+        self.known_sites = known_sites or set()
+
+    # -- the filters of Algorithm 1, as overridable pieces ---------------------
+
+    def time_ok(self, t: TransferRecord, job: JobRecord) -> bool:
+        """Condition (1): the transfer started before the job's end."""
+        return job.endtime is not None and t.starttime < job.endtime
+
+    def site_ok(self, t: TransferRecord, job: JobRecord) -> bool:
+        """Condition (3): download dest / upload source = computing site."""
+        if t.is_download:
+            return t.destination_site == job.computingsite
+        if t.is_upload:
+            return t.source_site == job.computingsite
+        return False
+
+    def size_ok(self, total: int, job: JobRecord) -> bool:
+        """Condition (2): whole-set size equals input or output bytes."""
+        return total == job.ninputfilebytes or total == job.noutputfilebytes
+
+    #: Whether this matcher applies the whole-set size check.
+    use_size_check = True
+
+    def match_job(self, job: JobRecord, candidates: List[TransferRecord]) -> List[TransferRecord]:
+        """Final filtering of T'_j for one job."""
+        kept = [t for t in candidates if self.time_ok(t, job) and self.site_ok(t, job)]
+        if not kept:
+            return []
+        if self.use_size_check:
+            total = sum(t.file_size for t in kept)
+            if not self.size_ok(total, job):
+                return []
+        return kept
+
+    # -- driving the whole window -------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[JobRecord],
+        index: CandidateIndex,
+        n_transfers_considered: int,
+    ) -> MatchResult:
+        matches: List[JobMatch] = []
+        for job in jobs:
+            candidates = index.candidates_for_job(job)
+            kept = self.match_job(job, candidates) if candidates else []
+            if kept:
+                matches.append(JobMatch(job=job, transfers=kept))
+        return MatchResult(
+            method=self.name,
+            matches=matches,
+            n_jobs_considered=len(jobs),
+            n_transfers_considered=n_transfers_considered,
+        )

@@ -1,0 +1,87 @@
+"""Scoring matchers against the simulator's ground truth.
+
+The paper cannot validate its matching because production telemetry has
+no truth labels; the simulator does.  For each method we report:
+
+* **pair precision** — of the (job, transfer) pairs the matcher
+  asserts, what fraction are truly linked;
+* **pair recall** — of the true job→transfer links *visible in the
+  degraded window* (both endpoints survived degradation and
+  pre-selection), what fraction were recovered;
+* **job precision/recall** — same at job granularity (a job counts as
+  correctly matched when at least one asserted transfer is truly its).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Set, Tuple
+
+from repro.core.matching.base import MatchResult
+from repro.telemetry.groundtruth import GroundTruth
+from repro.telemetry.records import JobRecord, TransferRecord
+
+
+@dataclass(frozen=True)
+class MatchEvaluation:
+    method: str
+    n_asserted_pairs: int
+    n_true_pairs_visible: int
+    pair_precision: float
+    pair_recall: float
+    job_precision: float
+    job_recall: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.method}: pairs P={self.pair_precision:.3f} R={self.pair_recall:.3f} "
+            f"jobs P={self.job_precision:.3f} R={self.job_recall:.3f} "
+            f"(asserted {self.n_asserted_pairs}, visible truth {self.n_true_pairs_visible})"
+        )
+
+
+def visible_true_pairs(
+    truth: GroundTruth,
+    jobs: Sequence[JobRecord],
+    transfers: Sequence[TransferRecord],
+) -> Set[Tuple[int, int]]:
+    """True (pandaid, row_id) links whose both endpoints are in the window."""
+    job_ids = {j.pandaid for j in jobs}
+    out: Set[Tuple[int, int]] = set()
+    for t in transfers:
+        true_job = truth.true_job_of(t.row_id)
+        if true_job and true_job in job_ids:
+            out.add((true_job, t.row_id))
+    return out
+
+
+def evaluate_against_truth(
+    result: MatchResult,
+    truth: GroundTruth,
+    jobs: Sequence[JobRecord],
+    transfers: Sequence[TransferRecord],
+) -> MatchEvaluation:
+    asserted = set(result.matched_pairs())
+    true_visible = visible_true_pairs(truth, jobs, transfers)
+
+    correct_pairs = {p for p in asserted if truth.true_job_of(p[1]) == p[0]}
+    pair_precision = len(correct_pairs) / len(asserted) if asserted else 0.0
+    pair_recall = (
+        len(correct_pairs & true_visible) / len(true_visible) if true_visible else 0.0
+    )
+
+    asserted_jobs = {p[0] for p in asserted}
+    correct_jobs = {p[0] for p in correct_pairs}
+    true_jobs = {p[0] for p in true_visible}
+    job_precision = len(correct_jobs & asserted_jobs) / len(asserted_jobs) if asserted_jobs else 0.0
+    job_recall = len(correct_jobs & true_jobs) / len(true_jobs) if true_jobs else 0.0
+
+    return MatchEvaluation(
+        method=result.method,
+        n_asserted_pairs=len(asserted),
+        n_true_pairs_visible=len(true_visible),
+        pair_precision=pair_precision,
+        pair_recall=pair_recall,
+        job_precision=job_precision,
+        job_recall=job_recall,
+    )

@@ -1,0 +1,111 @@
+"""The end-to-end matching pipeline (Fig 4's analysis workflow).
+
+Reproduces §4.2's procedure: pre-select jobs, file rows, and transfer
+events within a common time window through the querying module (jobs
+must *complete* inside the window — still-running jobs are invisible to
+the query), build the candidate join once, then run each matching
+method over the same pre-selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.matching.base import BaseMatcher, CandidateIndex, MatchResult
+from repro.core.matching.exact import ExactMatcher
+from repro.core.matching.rm1 import RM1Matcher
+from repro.core.matching.rm2 import RM2Matcher
+from repro.metastore.opensearch import OpenSearchLike
+from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
+
+
+@dataclass
+class MatchingReport:
+    """All methods over one window, plus the pre-selection sizes."""
+
+    window: tuple[float, float]
+    n_jobs: int
+    n_transfers: int
+    n_transfers_with_taskid: int
+    results: Dict[str, MatchResult]
+
+    def __getitem__(self, method: str) -> MatchResult:
+        return self.results[method]
+
+    @property
+    def methods(self) -> List[str]:
+        return list(self.results)
+
+
+class MatchingPipeline:
+    """Pre-select, join, and match.
+
+    Parameters
+    ----------
+    source:
+        The query layer holding degraded telemetry.
+    known_sites:
+        Valid site names (for RM2's invalid-label detection).
+    user_jobs_only:
+        The paper analyses the user-job population; production jobs can
+        be included for ablations.
+    """
+
+    def __init__(
+        self,
+        source: OpenSearchLike,
+        known_sites: Optional[Set[str]] = None,
+        user_jobs_only: bool = True,
+    ) -> None:
+        self.source = source
+        self.known_sites = known_sites or set()
+        self.user_jobs_only = user_jobs_only
+
+    # -- pre-selection (the common-time-window step of §4.2) ---------------------
+
+    def preselect_jobs(self, t0: float, t1: float) -> List[JobRecord]:
+        if self.user_jobs_only:
+            return self.source.user_jobs_completed_in(t0, t1)
+        return self.source.jobs_completed_in(t0, t1)
+
+    def preselect_transfers(self, t0: float, t1: float) -> List[TransferRecord]:
+        return self.source.transfers_started_in(t0, t1)
+
+    def preselect_files(self, jobs: Sequence[JobRecord]) -> List[FileRecord]:
+        """File rows of the selected jobs (PanDA side of the join)."""
+        out: List[FileRecord] = []
+        for job in jobs:
+            out.extend(self.source.files_of_job(job.pandaid))
+        return out
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(
+        self,
+        t0: float,
+        t1: float,
+        matchers: Optional[Sequence[BaseMatcher]] = None,
+    ) -> MatchingReport:
+        jobs = self.preselect_jobs(t0, t1)
+        transfers = self.preselect_transfers(t0, t1)
+        files = self.preselect_files(jobs)
+        index = CandidateIndex(files, transfers)
+        n_with_taskid = sum(1 for t in transfers if t.has_jeditaskid)
+
+        if matchers is None:
+            matchers = [
+                ExactMatcher(self.known_sites),
+                RM1Matcher(self.known_sites),
+                RM2Matcher(self.known_sites),
+            ]
+        results = {
+            m.name: m.run(jobs, index, n_transfers_considered=n_with_taskid) for m in matchers
+        }
+        return MatchingReport(
+            window=(t0, t1),
+            n_jobs=len(jobs),
+            n_transfers=len(transfers),
+            n_transfers_with_taskid=n_with_taskid,
+            results=results,
+        )

@@ -1,0 +1,19 @@
+"""RM1 — the first relaxed matching level (§4.3).
+
+Identical to exact matching except the whole-set file-size check is
+dropped.  This recovers (1) jobs whose transfer set is a *subset* of
+their inputs (some files were already at the site, so the staged total
+undershoots ``ninputfilebytes``) and (2) jobs rejected purely because
+byte totals were recorded imprecisely.
+"""
+
+from __future__ import annotations
+
+from repro.core.matching.base import BaseMatcher
+
+
+class RM1Matcher(BaseMatcher):
+    """Exact minus the size check."""
+
+    name = "rm1"
+    use_size_check = False

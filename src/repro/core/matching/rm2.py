@@ -1,0 +1,38 @@
+"""RM2 — the second relaxed matching level (§4.3).
+
+RM1 plus a relaxed site check: transfers whose relevant endpoint is
+recorded as ``UNKNOWN`` — or with a name that is not a known site at
+all — are retained instead of discarded, "recognizing that these site
+labels may be incorrectly recorded in the metadata while still
+corresponding to valid matches in the real system".
+
+A transfer with a *valid but different* site still fails: RM2 tolerates
+missing information, not contradicting information.
+"""
+
+from __future__ import annotations
+
+from repro.core.matching.rm1 import RM1Matcher
+from repro.telemetry.records import UNKNOWN_SITE, JobRecord, TransferRecord
+
+
+class RM2Matcher(RM1Matcher):
+    """RM1 with unknown/invalid site labels tolerated."""
+
+    name = "rm2"
+
+    def _site_uncertain(self, name: str) -> bool:
+        """Is this label missing or invalid (rather than contradicting)?"""
+        if not name or name == UNKNOWN_SITE:
+            return True
+        return bool(self.known_sites) and name not in self.known_sites
+
+    def site_ok(self, t: TransferRecord, job: JobRecord) -> bool:
+        if t.is_download:
+            return (
+                t.destination_site == job.computingsite
+                or self._site_uncertain(t.destination_site)
+            )
+        if t.is_upload:
+            return t.source_site == job.computingsite or self._site_uncertain(t.source_site)
+        return False

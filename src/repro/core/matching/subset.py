@@ -1,0 +1,119 @@
+"""Subset matching — the refinement the paper declines to build.
+
+§4.2: "this filtering step treats T'_j as a whole set rather than
+solving the underlying NP-hard problem of subset selection with a
+combinatorial method. In practice, however, the number of candidate
+transfers per job is typically small, making this approach
+computationally feasible."
+
+The observation cuts the other way too: *because* candidate sets are
+small, exact subset selection is also feasible.  :class:`SubsetMatcher`
+finds a subset of T'_j whose byte total equals ``ninputfilebytes`` or
+``noutputfilebytes`` exactly, using per-lfn grouping plus bounded
+search.  It recovers the case that defeats exact matching — a polluted
+candidate set containing the true transfers plus duplicates (Fig 12) —
+without RM1's blanket acceptance of every candidate.
+
+Complexity guard: per job, search is capped at ``max_nodes`` expansion
+steps; beyond it the matcher falls back to the whole-set rule, so a
+pathological job cannot stall the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.matching.base import BaseMatcher
+from repro.telemetry.records import JobRecord, TransferRecord
+
+
+class SubsetMatcher(BaseMatcher):
+    """Exact subset-sum selection over the candidate set.
+
+    The search works per distinct lfn: the true transfer set contains
+    each input file at most once (uploads: each output file once), so a
+    valid subset picks **at most one candidate per lfn**.  That turns
+    subset-sum into a product over per-lfn choices, which bounded DFS
+    with byte-total memoisation solves quickly at realistic sizes.
+    """
+
+    name = "subset"
+    use_size_check = True  # only used by the fallback path
+
+    def __init__(self, known_sites=None, max_nodes: int = 20_000) -> None:
+        super().__init__(known_sites)
+        self.max_nodes = int(max_nodes)
+        self.fallbacks = 0
+
+    def match_job(self, job: JobRecord, candidates: List[TransferRecord]) -> List[TransferRecord]:
+        kept = [t for t in candidates if self.time_ok(t, job) and self.site_ok(t, job)]
+        if not kept:
+            return []
+
+        for target in (job.ninputfilebytes, job.noutputfilebytes):
+            if target <= 0:
+                continue
+            subset = self._find_subset(kept, target)
+            if subset is not None:
+                return subset
+
+        # Search budget exhausted or no exact subset: whole-set rule.
+        total = sum(t.file_size for t in kept)
+        if self.size_ok(total, job):
+            return kept
+        return []
+
+    # -- bounded per-lfn DFS ------------------------------------------------------
+
+    def _find_subset(
+        self, kept: Sequence[TransferRecord], target: int
+    ) -> Optional[List[TransferRecord]]:
+        by_lfn: Dict[str, List[TransferRecord]] = {}
+        for t in kept:
+            by_lfn.setdefault(t.lfn, []).append(t)
+        groups: List[List[TransferRecord]] = list(by_lfn.values())
+        # Deterministic order: biggest candidate first prunes faster.
+        groups.sort(key=lambda g: -max(t.file_size for t in g))
+
+        # Suffix maxima: the most bytes still obtainable from group i on.
+        suffix_max = [0] * (len(groups) + 1)
+        for i in range(len(groups) - 1, -1, -1):
+            suffix_max[i] = suffix_max[i + 1] + max(t.file_size for t in groups[i])
+
+        budget = {"nodes": 0}
+        seen: set[Tuple[int, int]] = set()
+
+        def dfs(i: int, remaining: int, acc: List[TransferRecord]) -> Optional[List[TransferRecord]]:
+            if remaining == 0:
+                return list(acc)
+            if i == len(groups) or remaining < 0 or remaining > suffix_max[i]:
+                return None
+            budget["nodes"] += 1
+            if budget["nodes"] > self.max_nodes:
+                raise _BudgetExceeded()
+            key = (i, remaining)
+            if key in seen:
+                return None
+            seen.add(key)
+            # choice: skip this lfn entirely
+            result = dfs(i + 1, remaining, acc)
+            if result is not None:
+                return result
+            # or take exactly one of its candidates
+            for t in groups[i]:
+                acc.append(t)
+                result = dfs(i + 1, remaining - t.file_size, acc)
+                acc.pop()
+                if result is not None:
+                    return result
+            return None
+
+        try:
+            return dfs(0, int(target), [])
+        except _BudgetExceeded:
+            self.fallbacks += 1
+            return None
+
+
+class _BudgetExceeded(Exception):
+    pass

@@ -1,0 +1,30 @@
+"""Synthetic WLCG-like grid infrastructure.
+
+Models the physical substrate the paper's systems run on: computing
+sites organised in tiers 0-3 across world regions, Rucio storage
+elements (RSEs) attached to sites, and a network model with
+heterogeneous nominal bandwidth, diurnal modulation, and stochastic
+congestion.  The default preset builds a 111-site grid (110 real sites
+plus the ``UNKNOWN`` pseudo-site that aggregates mislabelled transfer
+endpoints, mirroring §3.2 of the paper).
+"""
+
+from repro.grid.tier import Tier
+from repro.grid.site import Site, UNKNOWN_SITE_NAME
+from repro.grid.rse import StorageElement, RseKind
+from repro.grid.network import LinkProfile, NetworkModel
+from repro.grid.topology import GridTopology
+from repro.grid.presets import build_wlcg, WlcgPresetConfig
+
+__all__ = [
+    "Tier",
+    "Site",
+    "UNKNOWN_SITE_NAME",
+    "StorageElement",
+    "RseKind",
+    "LinkProfile",
+    "NetworkModel",
+    "GridTopology",
+    "build_wlcg",
+    "WlcgPresetConfig",
+]

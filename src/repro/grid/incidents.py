@@ -1,0 +1,130 @@
+"""Site and network incidents.
+
+The paper frames its analysis around "system performance and
+resilience pitfalls" (§3.2): hot spots raise "the likelihood of errors
+at network and storage hot spots", and §5.3 attributes extreme local
+queuing to sites whose services degraded.  This module injects exactly
+those events into a running simulation:
+
+* **compute incidents** — a site loses a fraction of its slots and
+  reliability for a period (service degradation, partial outage);
+* **network incidents** — links touching a site lose a fraction of
+  their bandwidth for a period (congested uplink, failing switch).
+
+Incidents are scheduled on the engine and restore state automatically;
+the network side hooks :class:`~repro.grid.network.NetworkModel`
+through a multiplicative factor consulted on every bandwidth
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.grid.network import NetworkModel
+from repro.grid.topology import GridTopology
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One scheduled degradation."""
+
+    site: str
+    start: float
+    end: float
+    kind: str  # "compute" | "network"
+    #: remaining capacity fraction during the incident (0..1)
+    severity: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("incident must have positive duration")
+        if not (0.0 <= self.severity < 1.0):
+            raise ValueError("severity is the *remaining* fraction, in [0, 1)")
+        if self.kind not in ("compute", "network"):
+            raise ValueError(f"unknown incident kind: {self.kind}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class IncidentAwareNetwork:
+    """Wraps a NetworkModel's bandwidth with incident factors.
+
+    Installed by :class:`IncidentInjector`; pure function of time, so
+    transfer-duration integration keeps working unchanged.
+    """
+
+    def __init__(self, network: NetworkModel) -> None:
+        self.network = network
+        #: site -> list of (start, end, severity)
+        self.windows: Dict[str, List[Tuple[float, float, float]]] = {}
+        self._orig_effective = network.effective_bandwidth
+        network.effective_bandwidth = self.effective_bandwidth  # type: ignore[method-assign]
+
+    def add(self, incident: Incident) -> None:
+        self.windows.setdefault(incident.site, []).append(
+            (incident.start, incident.end, incident.severity))
+
+    def factor(self, site: str, t: float) -> float:
+        f = 1.0
+        for start, end, severity in self.windows.get(site, ()):
+            if start <= t < end:
+                f = min(f, severity)
+        return f
+
+    def effective_bandwidth(self, src: str, dst: str, t: float, share: int = 1) -> float:
+        bw = self._orig_effective(src, dst, t, share)
+        f = min(self.factor(src, t), self.factor(dst, t))
+        return max(64_000.0, bw * f)
+
+
+class IncidentInjector:
+    """Schedules incidents against a harness's topology and engine."""
+
+    def __init__(self, engine: Engine, topology: GridTopology) -> None:
+        self.engine = engine
+        self.topology = topology
+        assert topology.network is not None
+        self.network_hook = IncidentAwareNetwork(topology.network)
+        self.applied: List[Incident] = []
+        #: original (slots, reliability) per site under compute incident
+        self._saved: Dict[str, Tuple[int, float]] = {}
+
+    def schedule(self, incident: Incident) -> None:
+        if incident.site not in self.topology.sites:
+            raise KeyError(f"unknown site: {incident.site}")
+        self.applied.append(incident)
+        if incident.kind == "network":
+            self.network_hook.add(incident)
+            return
+        # compute incident: shrink slots and reliability for the window
+        self.engine.schedule_at(
+            incident.start, lambda: self._begin_compute(incident),
+            label=f"incident:{incident.site}",
+        )
+        self.engine.schedule_at(
+            incident.end, lambda: self._end_compute(incident),
+            label=f"incident-end:{incident.site}",
+        )
+
+    def _begin_compute(self, incident: Incident) -> None:
+        site = self.topology.site(incident.site)
+        if incident.site not in self._saved:
+            self._saved[incident.site] = (site.compute_slots, site.reliability)
+        slots, reliability = self._saved[incident.site]
+        site.compute_slots = max(1, int(slots * incident.severity))
+        site.reliability = max(0.5, reliability * (0.5 + incident.severity / 2))
+
+    def _end_compute(self, incident: Incident) -> None:
+        saved = self._saved.pop(incident.site, None)
+        if saved is None:
+            return
+        site = self.topology.site(incident.site)
+        site.compute_slots, site.reliability = saved
+
+    def active_at(self, t: float) -> List[Incident]:
+        return [i for i in self.applied if i.start <= t < i.end]

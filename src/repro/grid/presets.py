@@ -1,0 +1,175 @@
+"""Preset topologies.
+
+:func:`build_wlcg` constructs a WLCG-like grid mirroring the population
+the paper observes: 110 named sites (1 Tier-0 at CERN, 10 Tier-1
+national labs, ~60 Tier-2s, ~39 Tier-3s) across eight world regions,
+plus the ``UNKNOWN`` pseudo-site — 111 sites total, matching §3.2
+("Of the 111 sites that recorded file transfers...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.grid.site import Site
+from repro.grid.tier import TIER_COMPUTE_WEIGHT, Tier
+from repro.grid.topology import GridTopology
+
+#: Region -> (short code, relative share of sites).  Shares follow the
+#: rough geography of WLCG membership.
+REGIONS: List[tuple[str, str, float]] = [
+    ("CERN", "CERN", 0.03),
+    ("NorthEurope", "NE", 0.18),
+    ("SouthEurope", "SE", 0.16),
+    ("CentralEurope", "CE", 0.14),
+    ("NorthAmerica", "NA", 0.20),
+    ("SouthAmerica", "SA", 0.05),
+    ("Asia", "AS", 0.16),
+    ("Oceania", "OC", 0.08),
+]
+
+#: Tier-1 national labs and their regions (10 T1s, ATLAS-like).
+TIER1_SITES: List[tuple[str, str]] = [
+    ("BNL-ATLAS", "NorthAmerica"),       # NY, USA — the paper's (6,6) outlier
+    ("TRIUMF-LCG2", "NorthAmerica"),
+    ("RAL-LCG2", "NorthEurope"),
+    ("NDGF-T1", "NorthEurope"),          # North Europe — the 446.3 PB outlier
+    ("FZK-LCG2", "CentralEurope"),
+    ("IN2P3-CC", "SouthEurope"),
+    ("INFN-T1", "SouthEurope"),
+    ("PIC", "SouthEurope"),
+    ("SARA-MATRIX", "NorthEurope"),
+    ("TOKYO-LCG2", "Asia"),
+]
+
+
+@dataclass
+class WlcgPresetConfig:
+    """Knobs for the preset builder.
+
+    Defaults reproduce the paper's 111-site population.  ``scale``
+    multiplies compute slots everywhere, letting small test topologies
+    share code with full scenarios.
+    """
+
+    n_tier2: int = 60
+    n_tier3: int = 39
+    scale: float = 1.0
+    base_slots_t2: int = 60
+    seed: int = 0
+    #: Fraction of sites whose stage-in tooling is sequential-only
+    #: (drives the Fig 10 under-utilization case).
+    sequential_site_fraction: float = 0.25
+    include_unknown: bool = True
+
+
+def build_wlcg(config: WlcgPresetConfig | None = None, seed: int | None = None) -> GridTopology:
+    """Build the default WLCG-like topology.
+
+    ``seed`` overrides ``config.seed`` for convenience.  The builder is
+    fully deterministic in the seed.
+    """
+    cfg = config or WlcgPresetConfig()
+    if seed is not None:
+        cfg = WlcgPresetConfig(**{**cfg.__dict__, "seed": seed})
+    rng = np.random.default_rng(cfg.seed)
+
+    sites: List[Site] = []
+
+    def slots(tier: Tier) -> int:
+        base = cfg.base_slots_t2 * TIER_COMPUTE_WEIGHT[tier] / TIER_COMPUTE_WEIGHT[Tier.T2]
+        jitter = rng.uniform(0.7, 1.3)
+        return max(4, int(round(base * jitter * cfg.scale)))
+
+    def stagein_streams() -> int:
+        return 1 if rng.random() < cfg.sequential_site_fraction else int(rng.integers(2, 9))
+
+    def reliability(tier: Tier) -> float:
+        base = {Tier.T0: 0.985, Tier.T1: 0.975, Tier.T2: 0.955, Tier.T3: 0.93}[tier]
+        return float(np.clip(base + rng.normal(0, 0.01), 0.85, 0.999))
+
+    # Tier-0
+    sites.append(
+        Site(
+            name="CERN-PROD",
+            tier=Tier.T0,
+            region="CERN",
+            compute_slots=slots(Tier.T0),
+            parallel_stagein=8,
+            reliability=reliability(Tier.T0),
+        )
+    )
+
+    # Tier-1 national labs
+    for name, region in TIER1_SITES:
+        sites.append(
+            Site(
+                name=name,
+                tier=Tier.T1,
+                region=region,
+                compute_slots=slots(Tier.T1),
+                parallel_stagein=stagein_streams(),
+                reliability=reliability(Tier.T1),
+            )
+        )
+
+    # Tier-2 / Tier-3 spread across regions proportionally to their share.
+    def spread(n: int, tier: Tier, prefix: str) -> None:
+        region_names = [r[0] for r in REGIONS]
+        weights = np.array([r[2] for r in REGIONS])
+        weights = weights / weights.sum()
+        counts = np.floor(weights * n).astype(int)
+        # distribute the remainder to the largest regions
+        for i in np.argsort(-weights)[: n - int(counts.sum())]:
+            counts[i] += 1
+        for (region, code, _), count in zip(REGIONS, counts):
+            for k in range(count):
+                sites.append(
+                    Site(
+                        name=f"{code}-{prefix}-{k:02d}",
+                        tier=tier,
+                        region=region,
+                        compute_slots=slots(tier),
+                        parallel_stagein=stagein_streams(),
+                        reliability=reliability(tier),
+                    )
+                )
+
+    spread(cfg.n_tier2, Tier.T2, "T2")
+    spread(cfg.n_tier3, Tier.T3, "T3")
+
+    topo = GridTopology.build(sites, seed=cfg.seed, include_unknown=cfg.include_unknown)
+    topo.validate()
+    return topo
+
+
+def build_mini(seed: int = 0, n_tier2: int = 4, n_tier3: int = 2) -> GridTopology:
+    """A small topology for unit tests: T0 + 2 T1s + a few T2/T3s."""
+    cfg = WlcgPresetConfig(n_tier2=n_tier2, n_tier3=n_tier3, seed=seed, scale=0.2)
+    rng = np.random.default_rng(seed)
+    sites: List[Site] = [
+        Site("CERN-PROD", Tier.T0, "CERN", compute_slots=40, parallel_stagein=8),
+        Site("BNL-ATLAS", Tier.T1, "NorthAmerica", compute_slots=30, parallel_stagein=4),
+        Site("NDGF-T1", Tier.T1, "NorthEurope", compute_slots=30, parallel_stagein=4),
+    ]
+    for k in range(cfg.n_tier2):
+        seq = rng.random() < 0.5
+        sites.append(
+            Site(
+                f"T2-{k:02d}",
+                Tier.T2,
+                ["NorthAmerica", "NorthEurope", "Asia", "SouthEurope"][k % 4],
+                compute_slots=12,
+                parallel_stagein=1 if seq else 4,
+            )
+        )
+    for k in range(cfg.n_tier3):
+        sites.append(
+            Site(f"T3-{k:02d}", Tier.T3, "Asia", compute_slots=4, parallel_stagein=1)
+        )
+    topo = GridTopology.build(sites, seed=seed)
+    topo.validate()
+    return topo

@@ -1,0 +1,83 @@
+"""Rucio Storage Elements.
+
+An RSE is the logical endpoint Rucio addresses when placing replicas
+(§2.2).  A site typically exposes a DATADISK (managed, long-lived), a
+SCRATCHDISK (user analysis outputs, short-lived), and at Tier-0/1 a
+TAPE endpoint.  Capacity accounting here is deliberately simple — the
+paper's analysis never exhausts storage — but over-filling raises, so
+placement bugs surface in tests rather than silently corrupting runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RseKind(enum.Enum):
+    DATADISK = "DATADISK"
+    SCRATCHDISK = "SCRATCHDISK"
+    TAPE = "TAPE"
+
+    @property
+    def is_tape(self) -> bool:
+        return self is RseKind.TAPE
+
+
+@dataclass
+class StorageElement:
+    """One storage endpoint attached to a site.
+
+    Attributes
+    ----------
+    name:
+        Canonical RSE name, e.g. ``"CERN-PROD_DATADISK"``.
+    site_name:
+        Owning site.
+    kind:
+        Disk class / tape.
+    capacity_bytes:
+        Total capacity; ``used_bytes`` may never exceed it.
+    """
+
+    name: str
+    site_name: str
+    kind: RseKind
+    capacity_bytes: float
+    used_bytes: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"RSE {self.name}: capacity must be positive")
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+    def allocate(self, nbytes: float) -> None:
+        """Account for a new replica of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise RuntimeError(
+                f"RSE {self.name} over capacity: "
+                f"{self.used_bytes + nbytes:.3e} > {self.capacity_bytes:.3e}"
+            )
+        self.used_bytes += nbytes
+
+    def release(self, nbytes: float) -> None:
+        """Account for a deleted replica of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("cannot release negative bytes")
+        if nbytes > self.used_bytes + 1e-6:
+            raise RuntimeError(f"RSE {self.name} released more than used")
+        self.used_bytes = max(0.0, self.used_bytes - nbytes)
+
+
+def rse_name(site_name: str, kind: RseKind) -> str:
+    """Canonical RSE naming: ``<SITE>_<KIND>``."""
+    return f"{site_name}_{kind.value}"

@@ -1,0 +1,106 @@
+"""Computing sites.
+
+A site bundles compute capacity (job slots), stage-in concurrency
+(whether the local transfer tooling moves files in parallel — §5.4's
+first case study shows some sites do not), and a region used to derive
+wide-area link quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.grid.tier import Tier
+
+#: Name of the pseudo-site that aggregates transfers whose true endpoint
+#: was lost during metadata collection (paper §3.2: "the 102nd site is
+#: labelled as *unknown*").
+UNKNOWN_SITE_NAME = "UNKNOWN"
+
+
+@dataclass
+class Site:
+    """One computing centre on the grid.
+
+    Attributes
+    ----------
+    name:
+        Unique site name, e.g. ``"CERN-PROD"`` or ``"US-T2-07"``.
+    tier:
+        WLCG tier.
+    region:
+        Coarse geography (e.g. ``"CERN"``, ``"NorthAmerica"``); link
+        latency and bandwidth degrade with region distance.
+    compute_slots:
+        Number of concurrently running payload jobs the site sustains.
+    parallel_stagein:
+        Maximum concurrent stage-in transfers per job.  ``1`` reproduces
+        the sequential-transfer bandwidth under-utilization of Fig 10.
+    reliability:
+        Baseline probability that a job at this site avoids
+        infrastructure-caused failure (the failure model combines this
+        with staging-delay effects).
+    """
+
+    name: str
+    tier: Tier
+    region: str
+    compute_slots: int = 100
+    parallel_stagein: int = 4
+    reliability: float = 0.97
+    index: int = -1  # position in the topology's site list
+
+    # runtime occupancy, managed by the PanDA pilot layer
+    running_jobs: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.compute_slots <= 0:
+            raise ValueError(f"site {self.name}: compute_slots must be positive")
+        if self.parallel_stagein <= 0:
+            raise ValueError(f"site {self.name}: parallel_stagein must be positive")
+        if not (0.0 <= self.reliability <= 1.0):
+            raise ValueError(f"site {self.name}: reliability must be in [0, 1]")
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.name == UNKNOWN_SITE_NAME
+
+    @property
+    def has_free_slot(self) -> bool:
+        return self.running_jobs < self.compute_slots
+
+    @property
+    def load(self) -> float:
+        """Fraction of compute slots occupied."""
+        return self.running_jobs / self.compute_slots
+
+    def occupy(self) -> None:
+        if not self.has_free_slot:
+            raise RuntimeError(f"site {self.name} has no free slot")
+        self.running_jobs += 1
+
+    def release(self) -> None:
+        if self.running_jobs <= 0:
+            raise RuntimeError(f"site {self.name} released below zero occupancy")
+        self.running_jobs -= 1
+
+
+def make_unknown_site() -> Site:
+    """The catch-all pseudo-site for mislabelled transfer endpoints."""
+    return Site(
+        name=UNKNOWN_SITE_NAME,
+        tier=Tier.T3,
+        region="unknown",
+        compute_slots=1,
+        parallel_stagein=1,
+        reliability=1.0,
+    )
+
+
+def sites_by_tier(sites: List[Site]) -> dict[Tier, List[Site]]:
+    """Group sites by tier, preserving order."""
+    out: dict[Tier, List[Site]] = {}
+    for s in sites:
+        out.setdefault(s.tier, []).append(s)
+    return out

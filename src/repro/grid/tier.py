@@ -1,0 +1,59 @@
+"""WLCG tier taxonomy.
+
+The Worldwide LHC Computing Grid organises sites in four tiers (§2.1 of
+the paper): Tier-0 at CERN records and first-processes raw data, Tier-1
+national labs hold long-term custodial storage, Tier-2 universities
+provide simulation and analysis capacity, Tier-3 institutes offer
+localised resources.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Tier(enum.IntEnum):
+    """WLCG site tier.  Lower number = closer to the detector."""
+
+    T0 = 0
+    T1 = 1
+    T2 = 2
+    T3 = 3
+
+    @property
+    def label(self) -> str:
+        return f"Tier-{int(self)}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Tier":
+        """Parse ``'T1'``, ``'Tier-1'``, or ``'1'`` into a tier."""
+        t = text.strip().upper().replace("TIER-", "T").replace("TIER", "T")
+        if not t.startswith("T"):
+            t = "T" + t
+        try:
+            return cls[t]
+        except KeyError:
+            raise ValueError(f"unrecognised tier: {text!r}") from None
+
+
+#: Relative compute capacity weight by tier, used by the preset builder.
+TIER_COMPUTE_WEIGHT = {Tier.T0: 8.0, Tier.T1: 5.0, Tier.T2: 1.5, Tier.T3: 0.4}
+
+#: Relative storage capacity weight by tier.
+TIER_STORAGE_WEIGHT = {Tier.T0: 10.0, Tier.T1: 6.0, Tier.T2: 1.0, Tier.T3: 0.2}
+
+#: Typical wide-area nominal bandwidth (bytes/s) of a site's uplink by tier.
+TIER_WAN_BANDWIDTH = {
+    Tier.T0: 400e6,  # 400 MBps
+    Tier.T1: 250e6,
+    Tier.T2: 120e6,
+    Tier.T3: 40e6,
+}
+
+#: Typical LAN (intra-site) nominal bandwidth (bytes/s) by tier.
+TIER_LAN_BANDWIDTH = {
+    Tier.T0: 1200e6,
+    Tier.T1: 800e6,
+    Tier.T2: 450e6,
+    Tier.T3: 150e6,
+}

@@ -1,0 +1,120 @@
+"""Grid topology: the container tying sites, RSEs, and the network together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.grid.network import NetworkModel
+from repro.grid.rse import RseKind, StorageElement, rse_name
+from repro.grid.site import Site, UNKNOWN_SITE_NAME, make_unknown_site
+from repro.grid.tier import Tier
+
+
+@dataclass
+class GridTopology:
+    """All static infrastructure for one simulation.
+
+    Construct via :meth:`build` (or the :mod:`repro.grid.presets`
+    helpers), which validates name uniqueness and assigns site indices —
+    the indices are what Fig 3's site-matrix axes are labelled with.
+    """
+
+    sites: Dict[str, Site] = field(default_factory=dict)
+    rses: Dict[str, StorageElement] = field(default_factory=dict)
+    network: Optional[NetworkModel] = None
+    seed: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        sites: Iterable[Site],
+        seed: int = 0,
+        include_unknown: bool = True,
+        datadisk_capacity: float = 50e15,
+        scratchdisk_capacity: float = 5e15,
+        tape_capacity: float = 500e15,
+    ) -> "GridTopology":
+        topo = cls(seed=seed)
+        for site in sites:
+            topo._add_site(site)
+        if include_unknown and UNKNOWN_SITE_NAME not in topo.sites:
+            topo._add_site(make_unknown_site())
+        for site in topo.sites.values():
+            if site.is_unknown:
+                continue
+            topo._add_rse(site, RseKind.DATADISK, datadisk_capacity)
+            topo._add_rse(site, RseKind.SCRATCHDISK, scratchdisk_capacity)
+            if site.tier in (Tier.T0, Tier.T1):
+                topo._add_rse(site, RseKind.TAPE, tape_capacity)
+        topo.network = NetworkModel(topo.sites, seed=seed)
+        return topo
+
+    def _add_site(self, site: Site) -> None:
+        if site.name in self.sites:
+            raise ValueError(f"duplicate site name: {site.name}")
+        site.index = len(self.sites)
+        self.sites[site.name] = site
+
+    def _add_rse(self, site: Site, kind: RseKind, capacity: float) -> StorageElement:
+        name = rse_name(site.name, kind)
+        if name in self.rses:
+            raise ValueError(f"duplicate RSE name: {name}")
+        rse = StorageElement(name=name, site_name=site.name, kind=kind, capacity_bytes=capacity)
+        self.rses[name] = rse
+        return rse
+
+    # -- lookup helpers -----------------------------------------------------
+
+    def site(self, name: str) -> Site:
+        return self.sites[name]
+
+    def rse(self, name: str) -> StorageElement:
+        return self.rses[name]
+
+    def site_rses(self, site_name: str, kind: Optional[RseKind] = None) -> List[StorageElement]:
+        return [
+            r
+            for r in self.rses.values()
+            if r.site_name == site_name and (kind is None or r.kind == kind)
+        ]
+
+    def datadisk(self, site_name: str) -> StorageElement:
+        """The site's DATADISK — the default placement target."""
+        return self.rses[rse_name(site_name, RseKind.DATADISK)]
+
+    def scratchdisk(self, site_name: str) -> StorageElement:
+        return self.rses[rse_name(site_name, RseKind.SCRATCHDISK)]
+
+    def real_sites(self) -> List[Site]:
+        """All sites except the UNKNOWN pseudo-site, in index order."""
+        return [s for s in self.sites.values() if not s.is_unknown]
+
+    def compute_sites(self) -> List[Site]:
+        """Sites eligible to run jobs (real sites with slots)."""
+        return [s for s in self.real_sites() if s.compute_slots > 0]
+
+    def sites_in_tier(self, tier: Tier) -> List[Site]:
+        return [s for s in self.real_sites() if s.tier == tier]
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    def site_names(self) -> List[str]:
+        """Site names in index order (matrix axis order)."""
+        return sorted(self.sites, key=lambda n: self.sites[n].index)
+
+    def total_storage_capacity(self) -> float:
+        return sum(r.capacity_bytes for r in self.rses.values())
+
+    def validate(self) -> None:
+        """Internal-consistency checks; raises on violation."""
+        indices = sorted(s.index for s in self.sites.values())
+        if indices != list(range(len(self.sites))):
+            raise AssertionError("site indices are not a dense 0..n-1 range")
+        for r in self.rses.values():
+            if r.site_name not in self.sites:
+                raise AssertionError(f"RSE {r.name} references unknown site {r.site_name}")
+        if self.network is None:
+            raise AssertionError("topology has no network model")

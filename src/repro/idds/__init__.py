@@ -1,0 +1,15 @@
+"""iDDS-like intelligent data delivery.
+
+The paper's related work (§6) describes the intelligent Data Delivery
+Service: it "decouples pre-processing and delivery from execution,
+orchestrating PanDA and Rucio (e.g., the Data Carousel) to ensure
+fine-grained, pre-staged data availability and to reduce 'long tails'
+in ATLAS production".  This package implements that orchestration
+style: instead of submitting every job of a task after a fixed staging
+lead, the delivery service watches per-file replica availability and
+releases each job the moment its input chunk has landed.
+"""
+
+from repro.idds.delivery import DeliveryService, DeliveryPlan, TaskDelivery
+
+__all__ = ["DeliveryService", "DeliveryPlan", "TaskDelivery"]

@@ -1,0 +1,88 @@
+"""Identifier generators for the simulated PanDA/Rucio ecosystem.
+
+Production PanDA job identifiers (``pandaid``) and JEDI task identifiers
+(``jeditaskid``) are monotonically increasing integers drawn from global
+sequences; Rucio scopes and logical file names (LFNs) follow ATLAS naming
+conventions.  This module provides deterministic, restartable sequence
+generators so that a seeded simulation always produces the same
+identifier stream.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: First pandaid issued; chosen to resemble contemporary ATLAS ids
+#: (the paper's case studies use ids like 6583770648).
+PANDAID_BASE = 6_580_000_000
+#: First jeditaskid issued.
+JEDITASKID_BASE = 43_000_000
+#: First Rucio replication-rule id.
+RULEID_BASE = 900_000_000
+#: First transfer-request id.
+TRANSFERID_BASE = 2_000_000_000
+
+
+@dataclass
+class Sequence:
+    """A restartable monotone integer sequence.
+
+    >>> s = Sequence(10)
+    >>> s.next(), s.next()
+    (10, 11)
+    """
+
+    start: int
+    _it: Iterator[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._it = itertools.count(self.start)
+
+    def next(self) -> int:
+        return next(self._it)
+
+    def reset(self) -> None:
+        self._it = itertools.count(self.start)
+
+
+class IdFactory:
+    """Bundle of the identifier sequences used across one simulation run.
+
+    Each simulation owns one factory so that runs never share sequence
+    state; two runs with the same inputs issue identical ids.
+    """
+
+    def __init__(self) -> None:
+        self.pandaid = Sequence(PANDAID_BASE)
+        self.jeditaskid = Sequence(JEDITASKID_BASE)
+        self.ruleid = Sequence(RULEID_BASE)
+        self.transferid = Sequence(TRANSFERID_BASE)
+        self._lfn_counter = Sequence(1)
+
+    def next_pandaid(self) -> int:
+        return self.pandaid.next()
+
+    def next_jeditaskid(self) -> int:
+        return self.jeditaskid.next()
+
+    def next_ruleid(self) -> int:
+        return self.ruleid.next()
+
+    def next_transferid(self) -> int:
+        return self.transferid.next()
+
+    def make_lfn(self, scope: str, datatype: str = "DAOD") -> str:
+        """Build an ATLAS-style logical file name.
+
+        Example: ``user.alice:user.alice.43000012.DAOD._000001.root``
+        for a user scope, or ``mc23_13p6TeV:DAOD._000001.root``-style
+        names for production scopes.
+        """
+        n = self._lfn_counter.next()
+        return f"{scope}.{datatype}._{n:06d}.root"
+
+    def make_dataset_name(self, scope: str, jeditaskid: int, kind: str = "DAOD") -> str:
+        """Build an ATLAS-style dataset name tied to a JEDI task."""
+        return f"{scope}.{jeditaskid}.{kind}"

@@ -1,0 +1,27 @@
+"""Metadata store: the OpenSearch-like querying module of Fig 4.
+
+An in-memory document store with per-field hash indices and range
+queries.  The analysis workflow retrieves job, file, and transfer
+metadata through this store exactly as the paper's querying module
+retrieves them from OpenSearch — time-window preselection first, field
+filters after.
+"""
+
+from repro.metastore.index import FieldIndex
+from repro.metastore.query import Query, Term, Terms, Range, Bool, Exists, MatchAll
+from repro.metastore.store import DocumentStore
+from repro.metastore.opensearch import OpenSearchLike, SearchResult
+
+__all__ = [
+    "FieldIndex",
+    "Query",
+    "Term",
+    "Terms",
+    "Range",
+    "Bool",
+    "Exists",
+    "MatchAll",
+    "DocumentStore",
+    "OpenSearchLike",
+    "SearchResult",
+]

@@ -1,0 +1,98 @@
+"""Per-field indices.
+
+A :class:`FieldIndex` maps field values to document ids (an inverted
+index for exact-term lookup) and keeps a sorted column for range scans.
+Numeric columns use numpy ``searchsorted`` so range queries are
+O(log n + hits) instead of full scans — the "efficient computing for
+scalability" §5.5 calls for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+import numpy as np
+
+
+class FieldIndex:
+    """Index over one field of one collection.
+
+    Built once after bulk ingestion (``freeze``); lookups before
+    freezing fall back to the hash index only.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._by_value: Dict[Any, List[int]] = {}
+        self._doc_ids: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._numeric: bool = True
+
+    def add(self, doc_id: int, value: Any) -> None:
+        if value is None:
+            return
+        self._by_value.setdefault(value, []).append(doc_id)
+        if self._numeric and not isinstance(value, (int, float, np.integer, np.floating)):
+            self._numeric = False
+        # invalidate any frozen column
+        self._doc_ids = None
+        self._values = None
+
+    def freeze(self) -> None:
+        """Build the sorted column for range queries (numeric fields only)."""
+        if not self._numeric or not self._by_value:
+            return
+        pairs = [(v, d) for v, docs in self._by_value.items() for d in docs]
+        pairs.sort()
+        self._values = np.array([p[0] for p in pairs], dtype=float)
+        self._doc_ids = np.array([p[1] for p in pairs], dtype=np.int64)
+
+    # -- lookups -------------------------------------------------------------
+
+    def term(self, value: Any) -> Set[int]:
+        return set(self._by_value.get(value, ()))
+
+    def terms(self, values) -> Set[int]:
+        out: Set[int] = set()
+        for v in values:
+            out.update(self._by_value.get(v, ()))
+        return out
+
+    def range(
+        self,
+        gte: Optional[float] = None,
+        lt: Optional[float] = None,
+        gt: Optional[float] = None,
+        lte: Optional[float] = None,
+    ) -> Set[int]:
+        """Doc ids whose value falls in the (half-open by default) range."""
+        if not self._numeric:
+            raise TypeError(f"field {self.name!r} is not numeric; range query invalid")
+        if self._values is None:
+            self.freeze()
+        if self._values is None:  # empty index
+            return set()
+        lo_idx = 0
+        hi_idx = len(self._values)
+        if gte is not None:
+            lo_idx = int(np.searchsorted(self._values, gte, side="left"))
+        if gt is not None:
+            lo_idx = max(lo_idx, int(np.searchsorted(self._values, gt, side="right")))
+        if lt is not None:
+            hi_idx = min(hi_idx, int(np.searchsorted(self._values, lt, side="left")))
+        if lte is not None:
+            hi_idx = min(hi_idx, int(np.searchsorted(self._values, lte, side="right")))
+        if lo_idx >= hi_idx:
+            return set()
+        assert self._doc_ids is not None
+        return set(int(d) for d in self._doc_ids[lo_idx:hi_idx])
+
+    def exists(self) -> Set[int]:
+        out: Set[int] = set()
+        for docs in self._by_value.values():
+            out.update(docs)
+        return out
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._by_value)

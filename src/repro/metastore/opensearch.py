@@ -1,0 +1,89 @@
+"""OpenSearch-like façade.
+
+The paper's analysis workflow (Fig 4) starts with an "OpenSearch
+framework-based querying module" that retrieves job metadata from PanDA
+and file/transfer metadata from Rucio for a common time window.  This
+façade reproduces that surface: ingest the degraded telemetry, then ask
+for jobs completed in a window and transfers started in a window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.metastore.query import Bool, Query, Range, Term
+from repro.metastore.store import Collection, DocumentStore
+from repro.telemetry.degradation import DegradedTelemetry
+from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
+
+
+@dataclass
+class SearchResult:
+    """A retrieval result with provenance."""
+
+    collection: str
+    query_description: str
+    hits: List
+
+
+class OpenSearchLike:
+    """Query layer over the three telemetry collections."""
+
+    JOB_FIELDS = (
+        "pandaid", "jeditaskid", "computingsite", "prodsourcelabel",
+        "status", "taskstatus", "creationtime", "starttime", "endtime",
+    )
+    FILE_FIELDS = (
+        "pandaid", "jeditaskid", "lfn", "dataset", "proddblock", "scope",
+        "file_size", "ftype",
+    )
+    TRANSFER_FIELDS = (
+        "row_id", "lfn", "dataset", "proddblock", "scope", "file_size",
+        "source_site", "destination_site", "activity", "is_download",
+        "is_upload", "starttime", "endtime", "jeditaskid", "success",
+    )
+
+    def __init__(self) -> None:
+        self.store = DocumentStore()
+        self.jobs: Collection = self.store.create("jobs", self.JOB_FIELDS)
+        self.files: Collection = self.store.create("files", self.FILE_FIELDS)
+        self.transfers: Collection = self.store.create("transfers", self.TRANSFER_FIELDS)
+
+    @classmethod
+    def from_telemetry(cls, telemetry: DegradedTelemetry) -> "OpenSearchLike":
+        os_like = cls()
+        os_like.jobs.ingest(telemetry.jobs)
+        os_like.files.ingest(telemetry.files)
+        os_like.transfers.ingest(telemetry.transfers)
+        os_like.store.freeze()
+        return os_like
+
+    # -- the retrieval patterns §4.2 relies on -------------------------------
+
+    def jobs_completed_in(self, t0: float, t1: float) -> List[JobRecord]:
+        """Jobs whose end time falls in [t0, t1) — running jobs excluded."""
+        return self.jobs.search(Range("endtime", gte=t0, lt=t1))
+
+    def user_jobs_completed_in(self, t0: float, t1: float) -> List[JobRecord]:
+        return self.jobs.search(
+            Bool(must=[Range("endtime", gte=t0, lt=t1), Term("prodsourcelabel", "user")])
+        )
+
+    def transfers_started_in(self, t0: float, t1: float) -> List[TransferRecord]:
+        return self.transfers.search(Range("starttime", gte=t0, lt=t1))
+
+    def transfers_with_taskid_in(self, t0: float, t1: float) -> List[TransferRecord]:
+        return self.transfers.search(
+            Bool(must=[Range("starttime", gte=t0, lt=t1), Range("jeditaskid", gt=0)])
+        )
+
+    def files_of_job(self, pandaid: int) -> List[FileRecord]:
+        return self.files.search(Term("pandaid", pandaid))
+
+    def files_of_task(self, jeditaskid: int) -> List[FileRecord]:
+        return self.files.search(Term("jeditaskid", jeditaskid))
+
+    def search(self, collection: str, query: Query, description: str = "") -> SearchResult:
+        hits = self.store.collection(collection).search(query)
+        return SearchResult(collection=collection, query_description=description, hits=hits)

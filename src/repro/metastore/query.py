@@ -1,0 +1,115 @@
+"""Query DSL.
+
+A small algebra of composable query nodes (Term / Terms / Range /
+Exists / Bool / MatchAll) mirroring the subset of the OpenSearch query
+DSL the paper's retrieval module needs.  Each node evaluates to a set
+of document ids against a :class:`~repro.metastore.store.DocumentStore`
+collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Protocol, Sequence, Set
+
+
+class _Collection(Protocol):
+    """What a query needs from a collection (structural typing)."""
+
+    def field_index(self, name: str): ...
+    def all_ids(self) -> Set[int]: ...
+
+
+class Query(Protocol):
+    def evaluate(self, collection: _Collection) -> Set[int]: ...
+
+
+@dataclass(frozen=True)
+class Term:
+    """Exact value match on one field."""
+
+    fld: str
+    value: Any
+
+    def evaluate(self, collection: _Collection) -> Set[int]:
+        return collection.field_index(self.fld).term(self.value)
+
+
+@dataclass(frozen=True)
+class Terms:
+    """Match any of several values (OR within one field)."""
+
+    fld: str
+    values: tuple
+
+    def __init__(self, fld: str, values: Sequence[Any]) -> None:
+        object.__setattr__(self, "fld", fld)
+        object.__setattr__(self, "values", tuple(values))
+
+    def evaluate(self, collection: _Collection) -> Set[int]:
+        return collection.field_index(self.fld).terms(self.values)
+
+
+@dataclass(frozen=True)
+class Range:
+    """Numeric range on one field; bounds are optional."""
+
+    fld: str
+    gte: Optional[float] = None
+    lt: Optional[float] = None
+    gt: Optional[float] = None
+    lte: Optional[float] = None
+
+    def evaluate(self, collection: _Collection) -> Set[int]:
+        return collection.field_index(self.fld).range(
+            gte=self.gte, lt=self.lt, gt=self.gt, lte=self.lte
+        )
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Field is present and non-null."""
+
+    fld: str
+
+    def evaluate(self, collection: _Collection) -> Set[int]:
+        return collection.field_index(self.fld).exists()
+
+
+@dataclass(frozen=True)
+class MatchAll:
+    def evaluate(self, collection: _Collection) -> Set[int]:
+        return collection.all_ids()
+
+
+@dataclass
+class Bool:
+    """Boolean composition: must (AND), should (OR), must_not (NOT)."""
+
+    must: List[Query] = field(default_factory=list)
+    should: List[Query] = field(default_factory=list)
+    must_not: List[Query] = field(default_factory=list)
+
+    def evaluate(self, collection: _Collection) -> Set[int]:
+        if self.must:
+            # Evaluate all, intersect smallest-first to keep sets tight.
+            sets = sorted((q.evaluate(collection) for q in self.must), key=len)
+            result = sets[0].copy()
+            for s in sets[1:]:
+                result &= s
+                if not result:
+                    break
+        elif self.should:
+            result = set()
+        else:
+            result = collection.all_ids()
+
+        if self.should:
+            union: Set[int] = set()
+            for q in self.should:
+                union |= q.evaluate(collection)
+            result = (result & union) if self.must else union
+
+        for q in self.must_not:
+            result -= q.evaluate(collection)
+        return result

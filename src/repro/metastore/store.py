@@ -1,0 +1,110 @@
+"""Document store.
+
+Documents are plain dataclass instances (or dicts); fields are indexed
+lazily on first ingestion.  One store holds many named collections —
+the analysis uses ``jobs``, ``files``, and ``transfers``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.metastore.index import FieldIndex
+from repro.metastore.query import Query
+
+
+def _as_mapping(doc: Any) -> Dict[str, Any]:
+    if dataclasses.is_dataclass(doc) and not isinstance(doc, type):
+        # shallow: we only index top-level scalar fields
+        return {f.name: getattr(doc, f.name) for f in dataclasses.fields(doc)}
+    if isinstance(doc, dict):
+        return doc
+    raise TypeError(f"cannot ingest document of type {type(doc)!r}")
+
+
+class Collection:
+    """One indexed collection of documents."""
+
+    def __init__(self, name: str, indexed_fields: Optional[Sequence[str]] = None) -> None:
+        self.name = name
+        self._docs: List[Any] = []
+        self._indices: Dict[str, FieldIndex] = {}
+        self._indexed_fields = set(indexed_fields) if indexed_fields else None
+
+    def ingest(self, docs: Iterable[Any]) -> int:
+        n = 0
+        for doc in docs:
+            doc_id = len(self._docs)
+            self._docs.append(doc)
+            mapping = _as_mapping(doc)
+            for fld, value in mapping.items():
+                if self._indexed_fields is not None and fld not in self._indexed_fields:
+                    continue
+                if not isinstance(value, (str, int, float, bool)) and value is not None:
+                    continue
+                self._indices.setdefault(fld, FieldIndex(fld)).add(doc_id, value)
+            n += 1
+        return n
+
+    def freeze(self) -> None:
+        for idx in self._indices.values():
+            idx.freeze()
+
+    def field_index(self, name: str) -> FieldIndex:
+        idx = self._indices.get(name)
+        if idx is None:
+            # Unknown field: behave like an empty index (OpenSearch
+            # semantics: no documents match).
+            idx = FieldIndex(name)
+            self._indices[name] = idx
+        return idx
+
+    def all_ids(self) -> Set[int]:
+        return set(range(len(self._docs)))
+
+    def get(self, doc_id: int) -> Any:
+        return self._docs[doc_id]
+
+    def search(self, query: Query) -> List[Any]:
+        ids = sorted(query.evaluate(self))
+        return [self._docs[i] for i in ids]
+
+    def count(self, query: Query) -> int:
+        return len(query.evaluate(self))
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __iter__(self):
+        return iter(self._docs)
+
+
+class DocumentStore:
+    """Named collections with shared lifecycle."""
+
+    def __init__(self) -> None:
+        self._collections: Dict[str, Collection] = {}
+
+    def create(self, name: str, indexed_fields: Optional[Sequence[str]] = None) -> Collection:
+        if name in self._collections:
+            raise ValueError(f"collection exists: {name}")
+        col = Collection(name, indexed_fields)
+        self._collections[name] = col
+        return col
+
+    def collection(self, name: str) -> Collection:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise KeyError(f"no such collection: {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+    def names(self) -> List[str]:
+        return sorted(self._collections)
+
+    def freeze(self) -> None:
+        for col in self._collections.values():
+            col.freeze()

@@ -1,0 +1,34 @@
+"""PanDA-like workload management substrate.
+
+Models §2.1 of the paper: the PanDA server receives user and production
+jobs, a brokerage module assigns them to sites "based on many criteria
+such as job type, priority, input data location, and site availability"
+(the data-locality heuristic of §3.1), and per-site Harvester/Pilot
+layers stage input data through Rucio, execute payloads, and stage
+outputs back.
+"""
+
+from repro.panda.job import Job, JobStatus, JobKind, DataAccessMode
+from repro.panda.task import JediTask, TaskStatus
+from repro.panda.errors import ErrorCode, FailureModel, PandaError
+from repro.panda.queue import GlobalQueue
+from repro.panda.brokerage import BrokerDecision, DataLocalityBroker
+from repro.panda.harvester import Harvester
+from repro.panda.server import PandaServer
+
+__all__ = [
+    "Job",
+    "JobStatus",
+    "JobKind",
+    "DataAccessMode",
+    "JediTask",
+    "TaskStatus",
+    "ErrorCode",
+    "FailureModel",
+    "PandaError",
+    "GlobalQueue",
+    "BrokerDecision",
+    "DataLocalityBroker",
+    "Harvester",
+    "PandaServer",
+]

@@ -1,0 +1,105 @@
+"""Error taxonomy and the failure model.
+
+Error codes follow PanDA's pilot-error numbering style; 1305 is the
+"Non-zero return code from Overlay (1)" failure from the paper's Fig 11
+case study.  The failure model couples failure probability to staging
+behaviour: §5.3 observes that jobs spending an extreme fraction of
+their queuing time in transfers fail disproportionately often, and §5.4
+notes that while causality cannot be established, prolonged transfers
+plausibly increase failure likelihood.  We implement exactly that
+plausible coupling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.site import Site
+
+
+class ErrorCode(enum.IntEnum):
+    """Pilot/payload error codes (subset, PanDA-style numbering)."""
+
+    NONE = 0
+    STAGEIN_FAILED = 1099
+    STAGEIN_TIMEOUT = 1104
+    PAYLOAD_OVERLAY = 1305        # "Non-zero return code from Overlay (1)"
+    PAYLOAD_SEGFAULT = 1201
+    PAYLOAD_BAD_OUTPUT = 1137
+    STAGEOUT_FAILED = 1152
+    SITE_SERVICE_ERROR = 1360
+    LOST_HEARTBEAT = 1361
+
+
+ERROR_MESSAGES = {
+    ErrorCode.NONE: "",
+    ErrorCode.STAGEIN_FAILED: "Failed to stage in input file(s)",
+    ErrorCode.STAGEIN_TIMEOUT: "Stage-in timed out",
+    ErrorCode.PAYLOAD_OVERLAY: "Non-zero return code from Overlay (1)",
+    ErrorCode.PAYLOAD_SEGFAULT: "Payload received SIGSEGV",
+    ErrorCode.PAYLOAD_BAD_OUTPUT: "Payload produced inconsistent output",
+    ErrorCode.STAGEOUT_FAILED: "Failed to stage out output file(s)",
+    ErrorCode.SITE_SERVICE_ERROR: "Site service unavailable",
+    ErrorCode.LOST_HEARTBEAT: "Lost heartbeat",
+}
+
+#: Relative frequency of payload-phase error codes when a payload fails.
+PAYLOAD_ERROR_WEIGHTS = {
+    ErrorCode.PAYLOAD_OVERLAY: 0.35,
+    ErrorCode.PAYLOAD_SEGFAULT: 0.25,
+    ErrorCode.PAYLOAD_BAD_OUTPUT: 0.2,
+    ErrorCode.SITE_SERVICE_ERROR: 0.2,
+}
+
+
+@dataclass(frozen=True)
+class PandaError:
+    code: ErrorCode
+    message: str
+
+    @classmethod
+    def of(cls, code: ErrorCode) -> "PandaError":
+        return cls(code=code, message=ERROR_MESSAGES.get(code, code.name))
+
+
+@dataclass
+class FailureModel:
+    """Draws job outcomes.
+
+    ``base_failure_rate`` is the payload failure probability at a
+    perfectly reliable site with instantaneous staging.
+    ``staging_coupling`` scales the extra failure probability
+    contributed by the fraction of queuing time spent transferring:
+    a job that spent 100% of its queue in transfers gains
+    ``staging_coupling`` of additional failure probability.
+    """
+
+    base_failure_rate: float = 0.14
+    staging_coupling: float = 0.55
+    max_failure_rate: float = 0.95
+
+    def payload_failure_probability(self, site: Site, staging_fraction: float) -> float:
+        p = self.base_failure_rate
+        p += (1.0 - site.reliability)
+        p += self.staging_coupling * float(np.clip(staging_fraction, 0.0, 1.0))
+        return float(np.clip(p, 0.0, self.max_failure_rate))
+
+    def draw_payload_outcome(
+        self, rng: np.random.Generator, site: Site, staging_fraction: float
+    ) -> PandaError:
+        """NONE on success, otherwise a payload-phase error."""
+        if rng.random() >= self.payload_failure_probability(site, staging_fraction):
+            return PandaError.of(ErrorCode.NONE)
+        codes = list(PAYLOAD_ERROR_WEIGHTS)
+        weights = np.array([PAYLOAD_ERROR_WEIGHTS[c] for c in codes])
+        code = codes[int(rng.choice(len(codes), p=weights / weights.sum()))]
+        return PandaError.of(code)
+
+    def stagein_error(self) -> PandaError:
+        return PandaError.of(ErrorCode.STAGEIN_FAILED)
+
+    def stageout_error(self) -> PandaError:
+        return PandaError.of(ErrorCode.STAGEOUT_FAILED)

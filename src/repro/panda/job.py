@@ -1,0 +1,139 @@
+"""Jobs and their lifecycle.
+
+Time semantics follow §4.2 exactly: a job's *lifetime* runs from
+creation to completion; *queuing time* is creation → recorded start of
+execution; *wall time* is start → completion.  Stage-in transfers fall
+in the queuing phase (except Direct IO, which overlaps execution);
+stage-out happens during wall time, before the recorded end.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.rucio.did import DID
+
+
+class JobStatus(enum.Enum):
+    DEFINED = "defined"        # created, awaiting brokerage
+    ASSIGNED = "assigned"      # site chosen, staging may be in flight
+    READY = "ready"            # inputs staged, waiting for a slot
+    RUNNING = "running"        # payload executing
+    FINISHED = "finished"      # success
+    FAILED = "failed"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobStatus.FINISHED, JobStatus.FAILED)
+
+
+class JobKind(enum.Enum):
+    ANALYSIS = "analysis"
+    PRODUCTION = "production"
+
+
+class DataAccessMode(enum.Enum):
+    """How a job reads its input data.
+
+    * ``DIRECT_LOCAL`` — posix/xrootd read from local storage; produces
+      **no transfer events** (the dominant, invisible mode that keeps the
+      paper's matched-job fraction below 1%).
+    * ``COPY_TO_SCRATCH`` — files are copied to the worker before the
+      payload starts (*Analysis Download*; local copy when data is
+      already at the site, remote pull otherwise).
+    * ``DIRECT_IO`` — files stream while the payload runs
+      (*Analysis Download Direct IO*).
+    """
+
+    DIRECT_LOCAL = "direct_local"
+    COPY_TO_SCRATCH = "copy_to_scratch"
+    DIRECT_IO = "direct_io"
+
+
+@dataclass
+class Job:
+    """One PanDA job (ground truth side)."""
+
+    pandaid: int
+    jeditaskid: int
+    kind: JobKind
+    access_mode: DataAccessMode
+    input_dataset: Optional[DID]
+    #: The job's slice of the task's input dataset (JEDI splits a task
+    #: into jobs by input files; empty = whole dataset).
+    input_file_dids: List[DID]
+    ninputfilebytes: int
+    #: Planned output volume; realised at completion.
+    noutputfilebytes: int
+    creation_time: float
+    scope: str = "user.anon"
+    priority: int = 1000
+    #: Expected payload CPU seconds (drawn by the generator).
+    payload_walltime: float = 3600.0
+    #: Whether outputs are uploaded to another RSE after execution.
+    uploads_output: bool = False
+    #: Fixed upload destination site ("" = let the pilot choose).
+    output_destination: str = ""
+
+    # -- lifecycle state, mutated by the server/pilot ------------------------
+    status: JobStatus = JobStatus.DEFINED
+    computing_site: str = ""
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    error_code: int = 0
+    error_message: str = ""
+    #: Ground-truth ids of the transfer events this job caused.
+    true_transfer_ids: List[int] = field(default_factory=list)
+    #: Seconds of queuing time during which >=1 stage-in transfer was active.
+    stagein_busy_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ninputfilebytes < 0 or self.noutputfilebytes < 0:
+            raise ValueError(f"job {self.pandaid}: negative byte counts")
+        if self.payload_walltime <= 0:
+            raise ValueError(f"job {self.pandaid}: payload walltime must be positive")
+
+    # -- derived times (defined only once terminal) ---------------------------
+
+    @property
+    def queuing_time(self) -> Optional[float]:
+        """Creation → start of execution (None until started)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.creation_time
+
+    @property
+    def wall_time(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def lifetime(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.creation_time
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is JobStatus.FINISHED
+
+    # -- state transitions, with legality checks ------------------------------
+
+    _LEGAL = {
+        JobStatus.DEFINED: {JobStatus.ASSIGNED, JobStatus.FAILED},
+        JobStatus.ASSIGNED: {JobStatus.READY, JobStatus.FAILED},
+        JobStatus.READY: {JobStatus.RUNNING, JobStatus.FAILED},
+        JobStatus.RUNNING: {JobStatus.FINISHED, JobStatus.FAILED},
+        JobStatus.FINISHED: set(),
+        JobStatus.FAILED: set(),
+    }
+
+    def transition(self, new: JobStatus) -> None:
+        if new not in self._LEGAL[self.status]:
+            raise RuntimeError(
+                f"job {self.pandaid}: illegal transition {self.status.value} -> {new.value}"
+            )
+        self.status = new

@@ -1,0 +1,45 @@
+"""The global PanDA job queue.
+
+Jobs land here after submission and leave when the brokerage assigns
+them to a site.  Ordering is (priority desc, creation time asc,
+pandaid asc) — a deterministic total order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.panda.job import Job, JobStatus
+
+
+class GlobalQueue:
+    """Priority queue of DEFINED jobs awaiting brokerage."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, float, int, Job]] = []
+
+    def push(self, job: Job) -> None:
+        if job.status is not JobStatus.DEFINED:
+            raise ValueError(f"job {job.pandaid} is {job.status.value}, not defined")
+        heapq.heappush(self._heap, (-job.priority, job.creation_time, job.pandaid, job))
+
+    def pop(self) -> Optional[Job]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[3]
+
+    def peek(self) -> Optional[Job]:
+        return self._heap[0][3] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def drain(self, n: Optional[int] = None) -> List[Job]:
+        """Pop up to ``n`` jobs (all when n is None), best first."""
+        out: List[Job] = []
+        while self._heap and (n is None or len(out) < n):
+            job = self.pop()
+            assert job is not None
+            out.append(job)
+        return out

@@ -1,0 +1,77 @@
+"""JEDI tasks.
+
+A task groups jobs sharing an input dataset and configuration; Fig 9 of
+the paper classifies matched jobs by the four (job status, task status)
+combinations, so task status must be a first-class derived quantity: a
+task fails when more than ``failure_threshold`` of its terminal jobs
+failed (ATLAS retries are abstracted away — the paper's analysis sees
+only final statuses).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.panda.job import DataAccessMode, Job, JobKind, JobStatus
+from repro.rucio.did import DID
+
+
+class TaskStatus(enum.Enum):
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class JediTask:
+    """One JEDI task: shared dataset, shared access mode, many jobs."""
+
+    jeditaskid: int
+    kind: JobKind
+    scope: str
+    access_mode: DataAccessMode
+    input_dataset: Optional[DID] = None
+    jobs: List[Job] = field(default_factory=list)
+    #: task registration time (simulation seconds)
+    created_at: float = 0.0
+    #: Fraction of failed terminal jobs above which the task is FAILED.
+    failure_threshold: float = 0.5
+    #: Destination site for output uploads (empty = keep local).
+    output_destination: str = ""
+
+    def add_job(self, job: Job) -> None:
+        if job.jeditaskid != self.jeditaskid:
+            raise ValueError(
+                f"job {job.pandaid} belongs to task {job.jeditaskid}, not {self.jeditaskid}"
+            )
+        self.jobs.append(job)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    def terminal_jobs(self) -> List[Job]:
+        return [j for j in self.jobs if j.status.is_terminal]
+
+    def status(self) -> TaskStatus:
+        """Derived task status.
+
+        RUNNING until every job is terminal; then FINISHED unless the
+        failed fraction exceeds the threshold.
+        """
+        if not self.jobs:
+            return TaskStatus.RUNNING
+        terminal = self.terminal_jobs()
+        if len(terminal) < len(self.jobs):
+            return TaskStatus.RUNNING
+        failed = sum(1 for j in terminal if j.status is JobStatus.FAILED)
+        frac = failed / len(terminal)
+        return TaskStatus.FAILED if frac > self.failure_threshold else TaskStatus.FINISHED
+
+    def failed_fraction(self) -> Optional[float]:
+        terminal = self.terminal_jobs()
+        if not terminal:
+            return None
+        return sum(1 for j in terminal if j.status is JobStatus.FAILED) / len(terminal)

@@ -1,0 +1,16 @@
+"""Rendering and export: text tables, figure series, CSV/JSON."""
+
+from repro.reporting.tables import render_table, render_activity_table, render_method_tables
+from repro.reporting.figures import series_to_rows, sparkline, render_timeline
+from repro.reporting.export import rows_to_csv, to_json_file
+
+__all__ = [
+    "render_table",
+    "render_activity_table",
+    "render_method_tables",
+    "series_to_rows",
+    "sparkline",
+    "render_timeline",
+    "rows_to_csv",
+    "to_json_file",
+]

@@ -1,0 +1,56 @@
+"""CSV / JSON export of analysis results."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def _as_dict(row: Any) -> Dict[str, Any]:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    if isinstance(row, dict):
+        return row
+    raise TypeError(f"cannot export row of type {type(row)!r}")
+
+
+def rows_to_csv(path: PathLike, rows: Sequence[Any]) -> int:
+    """Write dataclass/dict rows as CSV; returns the row count."""
+    dicts = [_as_dict(r) for r in rows]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not dicts:
+        path.write_text("")
+        return 0
+    fields = list(dicts[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(dicts)
+    return len(dicts)
+
+
+class _Encoder(json.JSONEncoder):
+    def default(self, o: Any) -> Any:  # noqa: D102 - stdlib hook
+        if dataclasses.is_dataclass(o) and not isinstance(o, type):
+            return dataclasses.asdict(o)
+        if hasattr(o, "tolist"):  # numpy array or scalar
+            return o.tolist()
+        if hasattr(o, "value"):  # enum
+            return o.value
+        return super().default(o)
+
+
+def to_json_file(path: PathLike, payload: Any, indent: int = 2) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, cls=_Encoder, indent=indent))
+
+
+def load_json(path: PathLike) -> Any:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,80 @@
+"""Figure-series rendering: rows for plotting, ASCII sparklines, and
+timeline pictures for the case studies."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.analysis.bandwidth import BandwidthSeries
+from repro.core.analysis.timeline import JobTimeline
+from repro.units import bytes_to_human
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compress a series into a fixed-width unicode sparkline."""
+    v = np.asarray(list(values), dtype=float)
+    if len(v) == 0:
+        return ""
+    if len(v) > width:
+        # mean-pool into `width` buckets
+        edges = np.linspace(0, len(v), width + 1).astype(int)
+        v = np.array([v[a:b].mean() if b > a else 0.0 for a, b in zip(edges, edges[1:])])
+    hi = v.max()
+    if hi <= 0:
+        return _SPARK[0] * len(v)
+    idx = np.minimum((v / hi * (len(_SPARK) - 1)).round().astype(int), len(_SPARK) - 1)
+    return "".join(_SPARK[i] for i in idx)
+
+
+def series_to_rows(series: BandwidthSeries) -> List[Dict[str, Any]]:
+    """Fig 7/8 data as plain rows (time, MBps) for export or plotting."""
+    return [
+        {"t": float(t), "mbps": float(m)}
+        for t, m in zip(series.times(), series.mbps)
+    ]
+
+
+def render_series(series: BandwidthSeries) -> str:
+    return (
+        f"{series.label:<40s} peak {series.peak_mbps:7.1f} MBps  "
+        f"mean {series.mean_mbps:6.1f} MBps  cv {series.fluctuation:4.2f}  "
+        f"{sparkline(series.mbps)}"
+    )
+
+
+def render_timeline(tl: JobTimeline, width: int = 72) -> str:
+    """Fig 10/11/12-style ASCII timeline of one job.
+
+    The time axis spans the job lifetime; 'Q' marks the queuing phase,
+    'W' the wall phase, and each transfer renders as a '=' bar.
+    """
+    lifetime = max(tl.lifetime, max((t.rel_end for t in tl.transfers), default=0.0))
+    if lifetime <= 0:
+        return f"job {tl.pandaid}: degenerate timeline"
+
+    def pos(t: float) -> int:
+        return min(width - 1, max(0, int(t / lifetime * width)))
+
+    q_end = pos(tl.queuing_time)
+    axis = ["Q"] * q_end + ["W"] * (width - q_end)
+    lines = [
+        f"job {tl.pandaid} [{tl.status}"
+        + (f", error {tl.error_code}: {tl.error_message}" if tl.error_code else "")
+        + f"]  queue {tl.queuing_time:.0f}s wall {tl.wall_time:.0f}s",
+        "".join(axis),
+    ]
+    for t in tl.transfers:
+        a, b = pos(t.rel_start), max(pos(t.rel_end), pos(t.rel_start) + 1)
+        bar = [" "] * width
+        for k in range(a, b):
+            bar[k] = "="
+        lines.append(
+            "".join(bar)
+            + f"  #{t.index} {bytes_to_human(t.file_size)} @ "
+            + f"{t.throughput / 1e6:.1f} MBps {t.source_site}->{t.destination_site}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.core.analysis.summary import ActivityRow, MethodJobRow, MethodTransferRow
+from repro.units import ratio_pct
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Align columns; numbers right-aligned, text left-aligned."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        parts = []
+        for i, cell in enumerate(row):
+            src = rows[ri - 1][i] if ri > 0 else None
+            if ri > 0 and isinstance(src, (int, float)) and not isinstance(src, bool):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        lines.append("  ".join(parts).rstrip())
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:,.2f}"
+    if isinstance(v, int) and not isinstance(v, bool):
+        return f"{v:,}"
+    return str(v)
+
+
+def render_activity_table(rows: Sequence[ActivityRow]) -> str:
+    """Table 1 rendering."""
+    return render_table(
+        ["Transfer activity type", "Matched count", "Total count", "Percentage"],
+        [[r.activity, r.matched, r.total, f"{r.pct:.2f}%"] for r in rows],
+    )
+
+
+def render_method_tables(
+    transfer_rows: Sequence[MethodTransferRow],
+    job_rows: Sequence[MethodJobRow],
+    n_transfers_with_taskid: int,
+    n_jobs: int,
+) -> str:
+    """Tables 2a and 2b rendering."""
+    a = render_table(
+        ["Matching method", "Local transfer", "Remote transfer", "Total transfer", "Total matched %"],
+        [
+            [
+                r.method,
+                r.local,
+                r.remote,
+                r.total,
+                f"{ratio_pct(r.total, n_transfers_with_taskid):.2f}%",
+            ]
+            for r in transfer_rows
+        ],
+    )
+    b = render_table(
+        ["Matching method", "All local", "All remote", "Mixed", "Total jobs", "Total matched %"],
+        [
+            [
+                r.method,
+                r.all_local,
+                r.all_remote,
+                r.mixed,
+                r.total,
+                f"{ratio_pct(r.total, n_jobs):.2f}%",
+            ]
+            for r in job_rows
+        ],
+    )
+    return f"(a) Matched transfers count\n{a}\n\n(b) Matched job count\n{b}"

@@ -1,0 +1,39 @@
+"""Rucio-like distributed data management substrate.
+
+Implements the concepts from §2.2 of the paper: the three-tier DID
+namespace (file / dataset / container), replicas on Rucio Storage
+Elements, replication rules that trigger transfers of missing replicas,
+replica source selection, and an FTS-like transfer service that models
+queueing, link bandwidth sharing, and per-site stage-in concurrency.
+"""
+
+from repro.rucio.activities import TransferActivity
+from repro.rucio.did import DID, DidType, FileDid, DatasetDid, ContainerDid
+from repro.rucio.catalog import DidCatalog
+from repro.rucio.replica import Replica, ReplicaState, ReplicaRegistry
+from repro.rucio.rules import ReplicationRule, RuleEngine
+from repro.rucio.selector import ReplicaSelector, SourceChoice
+from repro.rucio.transfer import TransferRequest, TransferEvent
+from repro.rucio.fts import TransferService
+from repro.rucio.client import RucioClient
+
+__all__ = [
+    "TransferActivity",
+    "DID",
+    "DidType",
+    "FileDid",
+    "DatasetDid",
+    "ContainerDid",
+    "DidCatalog",
+    "Replica",
+    "ReplicaState",
+    "ReplicaRegistry",
+    "ReplicationRule",
+    "RuleEngine",
+    "ReplicaSelector",
+    "SourceChoice",
+    "TransferRequest",
+    "TransferEvent",
+    "TransferService",
+    "RucioClient",
+]

@@ -1,0 +1,80 @@
+"""Transfer activity taxonomy.
+
+Table 1 of the paper breaks matched transfers down by activity.  The
+five job-driven activities are modelled exactly; two background
+activities (rebalancing / consolidation) represent the large population
+of transfers *not* triggered by any job — the reason only a fraction of
+transfer events can ever be matched.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TransferActivity(enum.Enum):
+    """Why a transfer happened."""
+
+    # Job-driven activities (Table 1)
+    ANALYSIS_DOWNLOAD = "Analysis Download"
+    ANALYSIS_UPLOAD = "Analysis Upload"
+    ANALYSIS_DOWNLOAD_DIRECT_IO = "Analysis Download Direct IO"
+    PRODUCTION_DOWNLOAD = "Production Download"
+    PRODUCTION_UPLOAD = "Production Upload"
+
+    # Background activities (Rucio-autonomous; no job linkage exists)
+    DATA_REBALANCING = "Data Rebalancing"
+    DATA_CONSOLIDATION = "Data Consolidation"
+    #: Tape recall onto a disk buffer (Data Carousel staging).
+    STAGING = "Staging"
+
+    @property
+    def is_download(self) -> bool:
+        """Download = data moves *to* the computing site before/while a job runs."""
+        return self in (
+            TransferActivity.ANALYSIS_DOWNLOAD,
+            TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO,
+            TransferActivity.PRODUCTION_DOWNLOAD,
+        )
+
+    @property
+    def is_upload(self) -> bool:
+        """Upload = outputs move *from* the computing site after a job."""
+        return self in (
+            TransferActivity.ANALYSIS_UPLOAD,
+            TransferActivity.PRODUCTION_UPLOAD,
+        )
+
+    @property
+    def is_job_driven(self) -> bool:
+        return self.is_download or self.is_upload
+
+    @property
+    def is_production(self) -> bool:
+        return self in (
+            TransferActivity.PRODUCTION_DOWNLOAD,
+            TransferActivity.PRODUCTION_UPLOAD,
+        )
+
+    @property
+    def is_analysis(self) -> bool:
+        return self in (
+            TransferActivity.ANALYSIS_DOWNLOAD,
+            TransferActivity.ANALYSIS_UPLOAD,
+            TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO,
+        )
+
+    @property
+    def overlaps_execution(self) -> bool:
+        """Direct IO streams files during payload execution (§5.1)."""
+        return self is TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO
+
+
+#: Order in which Table 1 lists activities.
+TABLE1_ORDER = [
+    TransferActivity.ANALYSIS_DOWNLOAD,
+    TransferActivity.ANALYSIS_UPLOAD,
+    TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO,
+    TransferActivity.PRODUCTION_UPLOAD,
+    TransferActivity.PRODUCTION_DOWNLOAD,
+]

@@ -1,0 +1,144 @@
+"""The DID catalog: registration and hierarchy resolution."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.rucio.did import DID, ContainerDid, DatasetDid, DidType, FileDid
+
+
+class DidCatalog:
+    """Authoritative registry of all DIDs and their hierarchy.
+
+    Guarantees: names are unique per type; dataset attachments reference
+    registered files; container resolution terminates (cycles rejected
+    at attach time by construction — children must already exist, so a
+    cycle would require attaching an ancestor, which we check).
+    """
+
+    def __init__(self) -> None:
+        self._files: Dict[DID, FileDid] = {}
+        self._datasets: Dict[DID, DatasetDid] = {}
+        self._containers: Dict[DID, ContainerDid] = {}
+        #: reverse index: file DID -> dataset DIDs containing it
+        self._file_parents: Dict[DID, List[DID]] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register_file(self, file: FileDid) -> FileDid:
+        if file.did in self._files:
+            raise ValueError(f"file already registered: {file.did}")
+        self._files[file.did] = file
+        return file
+
+    def register_dataset(self, dataset: DatasetDid) -> DatasetDid:
+        if dataset.did in self._datasets:
+            raise ValueError(f"dataset already registered: {dataset.did}")
+        for fd in dataset.file_dids:
+            if fd not in self._files:
+                raise ValueError(f"dataset {dataset.did} references unregistered file {fd}")
+        self._datasets[dataset.did] = dataset
+        for fd in dataset.file_dids:
+            self._file_parents.setdefault(fd, []).append(dataset.did)
+        return dataset
+
+    def register_container(self, container: ContainerDid) -> ContainerDid:
+        if container.did in self._containers:
+            raise ValueError(f"container already registered: {container.did}")
+        for child in container.child_dids:
+            if child not in self._datasets and child not in self._containers:
+                raise ValueError(f"container {container.did} references unknown child {child}")
+        self._containers[container.did] = container
+        return container
+
+    def attach_file(self, dataset_did: DID, file_did: DID) -> None:
+        ds = self.dataset(dataset_did)
+        if file_did not in self._files:
+            raise ValueError(f"unregistered file: {file_did}")
+        ds.attach(file_did)
+        self._file_parents.setdefault(file_did, []).append(dataset_did)
+
+    # -- lookup -------------------------------------------------------------
+
+    def did_type(self, did: DID) -> Optional[DidType]:
+        if did in self._files:
+            return DidType.FILE
+        if did in self._datasets:
+            return DidType.DATASET
+        if did in self._containers:
+            return DidType.CONTAINER
+        return None
+
+    def file(self, did: DID) -> FileDid:
+        try:
+            return self._files[did]
+        except KeyError:
+            raise KeyError(f"unknown file DID: {did}") from None
+
+    def dataset(self, did: DID) -> DatasetDid:
+        try:
+            return self._datasets[did]
+        except KeyError:
+            raise KeyError(f"unknown dataset DID: {did}") from None
+
+    def container(self, did: DID) -> ContainerDid:
+        try:
+            return self._containers[did]
+        except KeyError:
+            raise KeyError(f"unknown container DID: {did}") from None
+
+    def dataset_files(self, did: DID) -> List[FileDid]:
+        """All files of a dataset, in attachment order."""
+        return [self._files[fd] for fd in self.dataset(did).file_dids]
+
+    def resolve_files(self, did: DID) -> List[FileDid]:
+        """Recursively resolve any DID to its constituent files."""
+        kind = self.did_type(did)
+        if kind is DidType.FILE:
+            return [self._files[did]]
+        if kind is DidType.DATASET:
+            return self.dataset_files(did)
+        if kind is DidType.CONTAINER:
+            out: List[FileDid] = []
+            seen: set[DID] = set()
+            stack = list(reversed(self._containers[did].child_dids))
+            while stack:
+                child = stack.pop()
+                if child in seen:
+                    continue
+                seen.add(child)
+                ck = self.did_type(child)
+                if ck is DidType.DATASET:
+                    out.extend(self.dataset_files(child))
+                elif ck is DidType.CONTAINER:
+                    stack.extend(reversed(self._containers[child].child_dids))
+                else:  # pragma: no cover - attach-time validation prevents this
+                    raise KeyError(f"dangling child DID: {child}")
+            return out
+        raise KeyError(f"unknown DID: {did}")
+
+    def datasets_of_file(self, file_did: DID) -> List[DID]:
+        return list(self._file_parents.get(file_did, []))
+
+    def total_bytes(self, did: DID) -> int:
+        return sum(f.size for f in self.resolve_files(did))
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def n_files(self) -> int:
+        return len(self._files)
+
+    @property
+    def n_datasets(self) -> int:
+        return len(self._datasets)
+
+    @property
+    def n_containers(self) -> int:
+        return len(self._containers)
+
+    def iter_files(self) -> Iterable[FileDid]:
+        return self._files.values()
+
+    def iter_datasets(self) -> Iterable[DatasetDid]:
+        return self._datasets.values()

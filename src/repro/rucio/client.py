@@ -1,0 +1,202 @@
+"""RucioClient — the façade PanDA/Harvester talks to.
+
+Wraps dataset discovery, stage-in (create replicas of missing input
+files at the computing site), output registration, and stage-out, so
+the workload side never touches catalog/replica/transfer internals.
+This mirrors the coordination surface described in §2.1-2.2: "Harvester
+communicates with the Rucio data management system for dataset
+discovery, transfers, and output registration."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.grid.rse import RseKind, rse_name
+from repro.grid.topology import GridTopology
+from repro.ids import IdFactory
+from repro.rucio.activities import TransferActivity
+from repro.rucio.catalog import DidCatalog
+from repro.rucio.did import DID, DatasetDid, FileDid
+from repro.rucio.fts import TransferGroup, TransferService
+from repro.rucio.replica import ReplicaRegistry
+from repro.rucio.rules import RuleEngine
+from repro.rucio.transfer import TransferEvent, TransferRequest
+
+
+class RucioClient:
+    """High-level data-management operations for the workload layer."""
+
+    def __init__(
+        self,
+        topology: GridTopology,
+        catalog: DidCatalog,
+        replicas: ReplicaRegistry,
+        transfers: TransferService,
+        rules: RuleEngine,
+        ids: IdFactory,
+    ) -> None:
+        self.topology = topology
+        self.catalog = catalog
+        self.replicas = replicas
+        self.transfers = transfers
+        self.rules = rules
+        self.ids = ids
+
+    # -- discovery ------------------------------------------------------------
+
+    def dataset_locations(self, dataset_did: DID) -> Set[str]:
+        """Sites holding a complete, available copy of the dataset."""
+        files = self.catalog.resolve_files(dataset_did)
+        if not files:
+            return set()
+        sites = self.replicas.sites_with_file(files[0].did)
+        for f in files[1:]:
+            sites &= self.replicas.sites_with_file(f.did)
+            if not sites:
+                break
+        return sites
+
+    def partial_locations(self, dataset_did: DID) -> dict[str, int]:
+        """Per-site count of available files of the dataset (brokerage input)."""
+        out: dict[str, int] = {}
+        for f in self.catalog.resolve_files(dataset_did):
+            for site in self.replicas.sites_with_file(f.did):
+                out[site] = out.get(site, 0) + 1
+        return out
+
+    def missing_files_at(self, dataset_did: DID, site: str) -> List[FileDid]:
+        files = self.catalog.resolve_files(dataset_did)
+        missing = self.replicas.missing_at_site([f.did for f in files], site)
+        by_did = {f.did: f for f in files}
+        return [by_did[m] for m in missing]
+
+    # -- stage-in ----------------------------------------------------------------
+
+    def stage_in(
+        self,
+        dataset_did: DID,
+        dest_site: str,
+        activity: TransferActivity,
+        pandaid: int,
+        jeditaskid: int,
+        on_complete: Optional[Callable[[List[TransferEvent]], None]] = None,
+        parallelism: Optional[int] = None,
+        dest_kind: RseKind = RseKind.SCRATCHDISK,
+        copy_all: bool = True,
+        file_dids: Optional[List[DID]] = None,
+    ) -> TransferGroup:
+        """Move the job's input files to ``dest_site`` before/while it runs.
+
+        With ``copy_all`` (the job-driven default), *every* file is
+        copied to the site's scratch area: files already replicated at
+        the site become **local transfers** (source site == destination
+        site — the population dominating the paper's exact matches,
+        Table 2a), files absent locally become remote pulls.  With
+        ``copy_all=False`` only missing files move (rule-style fill to
+        the DATADISK); a fully local dataset then transfers nothing and
+        the group completes immediately.
+        """
+        if not activity.is_download:
+            raise ValueError(f"stage_in requires a download activity, got {activity}")
+        site = self.topology.site(dest_site)
+        dest_rse = rse_name(dest_site, dest_kind)
+        if file_dids is not None:
+            files = [self.catalog.file(fd) for fd in file_dids]
+        elif copy_all:
+            files = self.catalog.resolve_files(dataset_did)
+        else:
+            files = self.missing_files_at(dataset_did, dest_site)
+        # Job-driven copies land in the worker's scratch area and are
+        # cleaned up with the job: they register no replica, and every
+        # job of a task copies (or streams) its inputs again — which is
+        # why the same lfn can appear in many transfer events of one
+        # task, and why Algorithm 1's whole-set size check is such a
+        # sharp filter.
+        ephemeral = copy_all
+        requests = [
+            TransferRequest(
+                request_id=self.ids.next_transferid(),
+                file_did=f.did,
+                size=f.size,
+                dest_rse=dest_rse,
+                activity=activity,
+                pandaid=pandaid,
+                jeditaskid=jeditaskid,
+                dataset_name=f.dataset_name,
+                proddblock=f.proddblock,
+                ephemeral=ephemeral,
+            )
+            for f in files
+        ]
+        par = parallelism if parallelism is not None else site.parallel_stagein
+        return self.transfers.submit_group(requests, parallelism=par, on_complete=on_complete)
+
+    # -- output registration and stage-out ------------------------------------------
+
+    def register_output_dataset(
+        self, scope: str, jeditaskid: int, kind: str = "out"
+    ) -> DatasetDid:
+        """Create the (open) output dataset for a task."""
+        name = self.ids.make_dataset_name(scope, jeditaskid, kind)
+        ds = DatasetDid(did=DID(scope=scope, name=name), jeditaskid=jeditaskid)
+        self.catalog.register_dataset(ds)
+        return ds
+
+    def register_output_file(
+        self,
+        dataset: DatasetDid,
+        size: int,
+        source_site: str,
+        now: float,
+        proddblock: str = "",
+    ) -> FileDid:
+        """Register a freshly produced file and its local replica.
+
+        The physical file materialises on the computing site's
+        SCRATCHDISK, where the pilot wrote it.
+        """
+        lfn = self.ids.make_lfn(dataset.did.scope)
+        f = FileDid(
+            did=DID(scope=dataset.did.scope, name=lfn),
+            size=size,
+            dataset_name=dataset.did.name,
+            proddblock=proddblock or dataset.did.name,
+        )
+        self.catalog.register_file(f)
+        self.catalog.attach_file(dataset.did, f.did)
+        self.replicas.add(f.did, rse_name(source_site, RseKind.SCRATCHDISK), size, now=now)
+        return f
+
+    def stage_out(
+        self,
+        files: List[FileDid],
+        source_site: str,
+        dest_site: str,
+        activity: TransferActivity,
+        pandaid: int,
+        jeditaskid: int,
+        on_complete: Optional[Callable[[List[TransferEvent]], None]] = None,
+        parallelism: int = 2,
+    ) -> TransferGroup:
+        """Move output files from the computing site to their destination."""
+        if not activity.is_upload:
+            raise ValueError(f"stage_out requires an upload activity, got {activity}")
+        src_rse = rse_name(source_site, RseKind.SCRATCHDISK)
+        dest_rse = rse_name(dest_site, RseKind.DATADISK)
+        requests = [
+            TransferRequest(
+                request_id=self.ids.next_transferid(),
+                file_did=f.did,
+                size=f.size,
+                dest_rse=dest_rse,
+                activity=activity,
+                pandaid=pandaid,
+                jeditaskid=jeditaskid,
+                dataset_name=f.dataset_name,
+                proddblock=f.proddblock,
+                source_rse=src_rse,
+            )
+            for f in files
+        ]
+        return self.transfers.submit_group(requests, parallelism=parallelism, on_complete=on_complete)

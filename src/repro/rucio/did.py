@@ -1,0 +1,115 @@
+"""Data Identifiers (DIDs).
+
+Rucio's namespace is three-tiered (§2.2): files group into datasets,
+datasets aggregate into (possibly nested) containers.  Every datum is
+referenced by a globally unique ``scope:name`` pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class DidType(enum.Enum):
+    FILE = "file"
+    DATASET = "dataset"
+    CONTAINER = "container"
+
+
+@dataclass(frozen=True)
+class DID:
+    """A scoped data identifier.  Immutable and hashable (dict keys)."""
+
+    scope: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.scope or not self.name:
+            raise ValueError("DID scope and name must be non-empty")
+        if ":" in self.scope:
+            raise ValueError(f"scope may not contain ':': {self.scope!r}")
+
+    def __str__(self) -> str:
+        return f"{self.scope}:{self.name}"
+
+    @classmethod
+    def parse(cls, text: str) -> "DID":
+        scope, sep, name = text.partition(":")
+        if not sep:
+            raise ValueError(f"not a scope:name DID: {text!r}")
+        return cls(scope=scope, name=name)
+
+
+@dataclass
+class FileDid:
+    """A file: the smallest replication unit.
+
+    ``proddblock`` is the block-level data identifier the matching
+    algorithm joins on; in production it names the sub-dataset a file
+    was produced into.
+    """
+
+    did: DID
+    size: int
+    dataset_name: str = ""
+    proddblock: str = ""
+    adler32: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"file {self.did}: negative size")
+
+    @property
+    def lfn(self) -> str:
+        """Logical file name — the DID name component."""
+        return self.did.name
+
+    @property
+    def scope(self) -> str:
+        return self.did.scope
+
+
+@dataclass
+class DatasetDid:
+    """A dataset: an ordered collection of files, the bulk-operation unit."""
+
+    did: DID
+    file_dids: List[DID] = field(default_factory=list)
+    #: JEDI task this dataset belongs to (0 = not task-bound).
+    jeditaskid: int = 0
+    is_open: bool = True
+
+    @property
+    def name(self) -> str:
+        return self.did.name
+
+    @property
+    def n_files(self) -> int:
+        return len(self.file_dids)
+
+    def attach(self, file_did: DID) -> None:
+        if not self.is_open:
+            raise RuntimeError(f"dataset {self.did} is closed")
+        if file_did in self.file_dids:
+            raise ValueError(f"file {file_did} already attached to {self.did}")
+        self.file_dids.append(file_did)
+
+    def close(self) -> None:
+        self.is_open = False
+
+
+@dataclass
+class ContainerDid:
+    """A container: aggregates datasets and/or other containers."""
+
+    did: DID
+    child_dids: List[DID] = field(default_factory=list)
+
+    def attach(self, child: DID) -> None:
+        if child in self.child_dids:
+            raise ValueError(f"child {child} already attached to {self.did}")
+        if child == self.did:
+            raise ValueError("container cannot contain itself")
+        self.child_dids.append(child)

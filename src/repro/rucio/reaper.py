@@ -1,0 +1,123 @@
+"""Reaper: replica deletion under Rucio's retention rules.
+
+§2.2: replication rules "protect [replicas] from deletion until all
+rules expire".  The reaper is the other half of that contract — a
+periodic sweep that removes unprotected replicas: scratch copies past a
+grace period, and datadisk copies evicted LRU once a high-watermark
+fill fraction is crossed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.grid.rse import RseKind
+from repro.grid.topology import GridTopology
+from repro.rucio.replica import ReplicaRegistry
+from repro.rucio.rules import RuleEngine
+from repro.sim.engine import Engine
+
+
+@dataclass
+class ReaperStats:
+    sweeps: int = 0
+    deleted_replicas: int = 0
+    freed_bytes: float = 0.0
+
+
+class Reaper:
+    """Periodic unprotected-replica deletion."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: GridTopology,
+        replicas: ReplicaRegistry,
+        rules: RuleEngine,
+        interval: float = 6 * 3600.0,
+        scratch_grace: float = 24 * 3600.0,
+        datadisk_watermark: float = 0.85,
+        datadisk_target: float = 0.70,
+    ) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.replicas = replicas
+        self.rules = rules
+        self.interval = float(interval)
+        self.scratch_grace = float(scratch_grace)
+        self.datadisk_watermark = float(datadisk_watermark)
+        self.datadisk_target = float(datadisk_target)
+        self.stats = ReaperStats()
+        self._scheduled = False
+
+    def start(self) -> None:
+        """Begin periodic sweeps (idempotent)."""
+        if self._scheduled:
+            return
+        self._scheduled = True
+        self.engine.schedule_in(self.interval, self._tick, label="reaper")
+
+    def _tick(self) -> None:
+        self.sweep()
+        self.engine.schedule_in(self.interval, self._tick, label="reaper")
+
+    # -- one sweep ---------------------------------------------------------------
+
+    def sweep(self) -> int:
+        """Run one deletion pass; returns replicas removed."""
+        now = self.engine.now
+        self.rules.expire(now)
+        removed = 0
+        removed += self._sweep_scratch(now)
+        removed += self._sweep_datadisk(now)
+        self.stats.sweeps += 1
+        return removed
+
+    def _deletable(self, file_did, rse_name: str, now: float) -> bool:
+        return not self.rules.is_protected(file_did, rse_name, now)
+
+    def _sweep_scratch(self, now: float) -> int:
+        """Scratch copies older than the grace period are purged."""
+        removed = 0
+        for rse in list(self.topology.rses.values()):
+            if rse.kind is not RseKind.SCRATCHDISK:
+                continue
+            for file_did in list(self.replicas.files_at_rse(rse.name)):
+                rep = self.replicas.get(file_did, rse.name)
+                if rep is None:
+                    continue
+                if now - rep.created_at < self.scratch_grace:
+                    continue
+                if not self._deletable(file_did, rse.name, now):
+                    continue
+                self._remove(file_did, rse.name, rep.size)
+                removed += 1
+        return removed
+
+    def _sweep_datadisk(self, now: float) -> int:
+        """LRU eviction above the high watermark, down to the target."""
+        removed = 0
+        for rse in list(self.topology.rses.values()):
+            if rse.kind is not RseKind.DATADISK:
+                continue
+            if rse.fill_fraction <= self.datadisk_watermark:
+                continue
+            target_bytes = self.datadisk_target * rse.capacity_bytes
+            candidates = []
+            for file_did in self.replicas.files_at_rse(rse.name):
+                rep = self.replicas.get(file_did, rse.name)
+                if rep is not None and self._deletable(file_did, rse.name, now):
+                    candidates.append(rep)
+            candidates.sort(key=lambda r: r.created_at)  # oldest first
+            for rep in candidates:
+                if rse.used_bytes <= target_bytes:
+                    break
+                self._remove(rep.file_did, rse.name, rep.size)
+                removed += 1
+        return removed
+
+    def _remove(self, file_did, rse_name: str, size: float) -> None:
+        self.replicas.remove(file_did, rse_name)
+        self.stats.deleted_replicas += 1
+        self.stats.freed_bytes += size

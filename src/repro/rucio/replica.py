@@ -1,0 +1,120 @@
+"""Replica registry.
+
+A replica is a physical copy of a file at an RSE (§2.2).  The registry
+maintains the bidirectional mapping file ↔ RSEs with state tracking
+(COPYING while a transfer is in flight, AVAILABLE once landed) and keeps
+RSE capacity accounting in sync.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.grid.topology import GridTopology
+from repro.rucio.did import DID
+
+
+class ReplicaState(enum.Enum):
+    COPYING = "copying"
+    AVAILABLE = "available"
+
+
+@dataclass
+class Replica:
+    """One physical copy of one file at one RSE."""
+
+    file_did: DID
+    rse_name: str
+    size: int
+    state: ReplicaState = ReplicaState.AVAILABLE
+    created_at: float = 0.0
+
+    @property
+    def key(self) -> tuple[DID, str]:
+        return (self.file_did, self.rse_name)
+
+
+class ReplicaRegistry:
+    """Tracks every replica on the grid.
+
+    Invariants (checked by tests):
+      * at most one replica of a file per RSE;
+      * RSE ``used_bytes`` equals the sum of its replicas' sizes;
+      * lookups by file and by RSE stay consistent.
+    """
+
+    def __init__(self, topology: GridTopology) -> None:
+        self.topology = topology
+        self._by_file: Dict[DID, Dict[str, Replica]] = {}
+        self._by_rse: Dict[str, Set[DID]] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(
+        self,
+        file_did: DID,
+        rse_name: str,
+        size: int,
+        state: ReplicaState = ReplicaState.AVAILABLE,
+        now: float = 0.0,
+    ) -> Replica:
+        if rse_name not in self.topology.rses:
+            raise KeyError(f"unknown RSE: {rse_name}")
+        per_file = self._by_file.setdefault(file_did, {})
+        if rse_name in per_file:
+            raise ValueError(f"replica already exists: {file_did} @ {rse_name}")
+        self.topology.rse(rse_name).allocate(size)
+        rep = Replica(file_did=file_did, rse_name=rse_name, size=size, state=state, created_at=now)
+        per_file[rse_name] = rep
+        self._by_rse.setdefault(rse_name, set()).add(file_did)
+        return rep
+
+    def mark_available(self, file_did: DID, rse_name: str) -> None:
+        rep = self.get(file_did, rse_name)
+        if rep is None:
+            raise KeyError(f"no replica: {file_did} @ {rse_name}")
+        rep.state = ReplicaState.AVAILABLE
+
+    def remove(self, file_did: DID, rse_name: str) -> None:
+        per_file = self._by_file.get(file_did, {})
+        rep = per_file.pop(rse_name, None)
+        if rep is None:
+            raise KeyError(f"no replica: {file_did} @ {rse_name}")
+        if not per_file:
+            del self._by_file[file_did]
+        self._by_rse[rse_name].discard(file_did)
+        self.topology.rse(rse_name).release(rep.size)
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, file_did: DID, rse_name: str) -> Optional[Replica]:
+        return self._by_file.get(file_did, {}).get(rse_name)
+
+    def replicas_of(self, file_did: DID) -> List[Replica]:
+        return list(self._by_file.get(file_did, {}).values())
+
+    def available_replicas_of(self, file_did: DID) -> List[Replica]:
+        return [r for r in self.replicas_of(file_did) if r.state is ReplicaState.AVAILABLE]
+
+    def sites_with_file(self, file_did: DID, available_only: bool = True) -> Set[str]:
+        reps = self.available_replicas_of(file_did) if available_only else self.replicas_of(file_did)
+        return {self.topology.rse(r.rse_name).site_name for r in reps}
+
+    def has_available_at_site(self, file_did: DID, site_name: str) -> bool:
+        return site_name in self.sites_with_file(file_did, available_only=True)
+
+    def files_at_rse(self, rse_name: str) -> Set[DID]:
+        return set(self._by_rse.get(rse_name, set()))
+
+    def n_replicas(self) -> int:
+        return sum(len(d) for d in self._by_file.values())
+
+    def dataset_complete_at_site(self, file_dids: List[DID], site_name: str) -> bool:
+        """True when every file in the list has an available replica at the site."""
+        return all(self.has_available_at_site(fd, site_name) for fd in file_dids)
+
+    def missing_at_site(self, file_dids: List[DID], site_name: str) -> List[DID]:
+        """Files from the list lacking an available replica at the site."""
+        return [fd for fd in file_dids if not self.has_available_at_site(fd, site_name)]

@@ -1,0 +1,228 @@
+"""Replication rules.
+
+Rules declare *where data must exist* (§2.2): when a rule is applied to
+a DID, Rucio creates the missing replicas by triggering transfers and
+protects existing ones from deletion until every covering rule expires.
+The engine here implements rule registration, satisfaction checking,
+missing-replica transfer generation, and expiry-driven cleanup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.grid.rse import RseKind, rse_name
+from repro.grid.topology import GridTopology
+from repro.ids import IdFactory
+from repro.rucio.activities import TransferActivity
+from repro.rucio.catalog import DidCatalog
+from repro.rucio.did import DID
+from repro.rucio.fts import TransferService
+from repro.rucio.replica import ReplicaRegistry
+from repro.rucio.transfer import TransferRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rucio.tape import TapeSystem
+
+
+@dataclass
+class ReplicationRule:
+    """One placement declaration.
+
+    ``rse_names`` is the resolved placement target list (we resolve RSE
+    expressions eagerly; production Rucio evaluates them lazily, which
+    doesn't change observable placement for static topologies).
+    """
+
+    rule_id: int
+    did: DID
+    rse_names: List[str]
+    created_at: float
+    lifetime: Optional[float] = None  # seconds; None = pinned forever
+    activity: TransferActivity = TransferActivity.DATA_CONSOLIDATION
+    jeditaskid: int = 0
+
+    def expires_at(self) -> Optional[float]:
+        return None if self.lifetime is None else self.created_at + self.lifetime
+
+    def expired(self, now: float) -> bool:
+        e = self.expires_at()
+        return e is not None and now >= e
+
+
+class RuleEngine:
+    """Applies rules: creates missing replicas, tracks protection, expires."""
+
+    def __init__(
+        self,
+        topology: GridTopology,
+        catalog: DidCatalog,
+        replicas: ReplicaRegistry,
+        transfers: TransferService,
+        ids: IdFactory,
+        tape: Optional["TapeSystem"] = None,
+    ) -> None:
+        self.topology = topology
+        self.catalog = catalog
+        self.replicas = replicas
+        self.transfers = transfers
+        self.ids = ids
+        self.tape = tape
+        self._rules: Dict[int, ReplicationRule] = {}
+
+    # -- rule lifecycle ---------------------------------------------------------
+
+    def add_rule(
+        self,
+        did: DID,
+        rse_names: List[str],
+        now: float,
+        lifetime: Optional[float] = None,
+        activity: TransferActivity = TransferActivity.DATA_CONSOLIDATION,
+        jeditaskid: int = 0,
+        trigger_transfers: bool = True,
+    ) -> ReplicationRule:
+        """Register a rule and (optionally) trigger fills for missing replicas."""
+        for rn in rse_names:
+            if rn not in self.topology.rses:
+                raise KeyError(f"rule targets unknown RSE: {rn}")
+        rule = ReplicationRule(
+            rule_id=self.ids.next_ruleid(),
+            did=did,
+            rse_names=list(rse_names),
+            created_at=now,
+            lifetime=lifetime,
+            activity=activity,
+            jeditaskid=jeditaskid,
+        )
+        self._rules[rule.rule_id] = rule
+        if trigger_transfers:
+            self.fill_missing(rule)
+        return rule
+
+    def fill_missing(self, rule: ReplicationRule) -> List[TransferRequest]:
+        """Submit transfers for every (file, target RSE) lacking a replica.
+
+        Data Carousel path: when a file's only available copies sit on
+        TAPE, a recall onto the custodial site's disk buffer is queued
+        first and the wide-area transfer chains off its completion.
+        """
+        requests: List[TransferRequest] = []
+        files = self.catalog.resolve_files(rule.did)
+        for rn in rule.rse_names:
+            for f in files:
+                if self.replicas.get(f.did, rn) is not None:
+                    continue
+                req = TransferRequest(
+                    request_id=self.ids.next_transferid(),
+                    file_did=f.did,
+                    size=f.size,
+                    dest_rse=rn,
+                    activity=rule.activity,
+                    jeditaskid=rule.jeditaskid,
+                    dataset_name=f.dataset_name,
+                    proddblock=f.proddblock,
+                )
+                if self._needs_tape_stage(f.did):
+                    self._stage_then_transfer(f.did, f.size, req, rule)
+                else:
+                    self.transfers.submit(req)
+                requests.append(req)
+        return requests
+
+    def _needs_tape_stage(self, file_did: DID) -> bool:
+        """True when no disk replica exists but a tape copy does."""
+        if self.tape is None:
+            return False
+        disk = [
+            r for r in self.replicas.available_replicas_of(file_did)
+            if not self.topology.rse(r.rse_name).kind.is_tape
+        ]
+        return not disk and bool(self.tape.tape_replicas_of(file_did))
+
+    #: recall attempts before a rule gives up on a file
+    TAPE_RETRIES = 3
+
+    def _stage_then_transfer(
+        self, file_did: DID, size: int, req: TransferRequest, rule: ReplicationRule
+    ) -> None:
+        assert self.tape is not None
+        tape_rse = self.tape.tape_replicas_of(file_did)[0]
+        buffer_rse = self.topology.datadisk(self.topology.rse(tape_rse).site_name).name
+        attempts = {"n": 0}
+
+        def submit_stage() -> None:
+            attempts["n"] += 1
+            self.tape.stage(
+                file_did, size, tape_rse,
+                dest_rse=buffer_rse,
+                on_complete=on_staged,
+                jeditaskid=rule.jeditaskid,
+            )
+
+        def on_staged(ok: bool) -> None:
+            if not ok:
+                if attempts["n"] < self.TAPE_RETRIES:
+                    submit_stage()  # FTS-style automatic retry
+                return
+            if req.dest_rse == buffer_rse:
+                return  # the buffer itself was the target
+            self.transfers.submit(req)
+
+        submit_stage()
+
+    def satisfied(self, rule: ReplicationRule) -> bool:
+        """True when every file has an available replica at every target."""
+        files = self.catalog.resolve_files(rule.did)
+        for rn in rule.rse_names:
+            for f in files:
+                rep = self.replicas.get(f.did, rn)
+                if rep is None or rep.state.value != "available":
+                    return False
+        return True
+
+    # -- protection and expiry -----------------------------------------------
+
+    def protecting_rules(self, file_did: DID, rse: str, now: float) -> List[ReplicationRule]:
+        """Unexpired rules that pin this replica."""
+        out = []
+        for rule in self._rules.values():
+            if rule.expired(now) or rse not in rule.rse_names:
+                continue
+            if any(f.did == file_did for f in self.catalog.resolve_files(rule.did)):
+                out.append(rule)
+        return out
+
+    def is_protected(self, file_did: DID, rse: str, now: float) -> bool:
+        return bool(self.protecting_rules(file_did, rse, now))
+
+    def expire(self, now: float) -> List[ReplicationRule]:
+        """Drop expired rules; returns what was removed."""
+        gone = [r for r in self._rules.values() if r.expired(now)]
+        for r in gone:
+            del self._rules[r.rule_id]
+        return gone
+
+    def rules_for(self, did: DID) -> List[ReplicationRule]:
+        return [r for r in self._rules.values() if r.did == did]
+
+    @property
+    def n_rules(self) -> int:
+        return len(self._rules)
+
+    # -- convenience -------------------------------------------------------------
+
+    def pin_dataset_at_site(
+        self,
+        dataset_did: DID,
+        site_name: str,
+        now: float,
+        lifetime: Optional[float] = None,
+        kind: RseKind = RseKind.DATADISK,
+        **kwargs,
+    ) -> ReplicationRule:
+        """Shorthand: one rule targeting the site's disk of the given kind."""
+        return self.add_rule(dataset_did, [rse_name(site_name, kind)], now, lifetime, **kwargs)

@@ -1,0 +1,201 @@
+"""Tape system: recall queues, drives, and the Data Carousel substrate.
+
+Tier-0/1 custodial data lives on TAPE RSEs.  Reading it back requires a
+*stage* (recall): the request queues for one of the tape library's
+drives, pays a mount/seek latency, then streams at tape-drive speed
+onto the site's disk buffer.  The WLCG "Data Carousel" model (§6's
+iDDS discussion) organises production processing around these recalls.
+
+Recalls emit ground-truth :class:`TransferEvent`s with the ``Staging``
+activity and no job identity — in production telemetry they are
+rule-driven, not job-driven, which is one more reason production
+inputs never match jobs (Table 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.grid.rse import RseKind
+from repro.grid.topology import GridTopology
+from repro.ids import IdFactory
+from repro.rucio.activities import TransferActivity
+from repro.rucio.did import DID
+from repro.rucio.replica import ReplicaRegistry, ReplicaState
+from repro.rucio.transfer import TransferEvent
+from repro.sim.engine import Engine
+
+
+@dataclass
+class StageRequest:
+    """One queued tape recall."""
+
+    file_did: DID
+    size: int
+    tape_rse: str
+    dest_rse: str
+    submitted_at: float
+    on_complete: Optional[Callable[[bool], None]] = None
+    jeditaskid: int = 0
+
+
+@dataclass
+class _DrivePool:
+    """Per-tape-RSE drive state."""
+
+    n_drives: int
+    busy: int = 0
+    waiting: Deque[StageRequest] = field(default_factory=deque)
+
+    @property
+    def has_free_drive(self) -> bool:
+        return self.busy < self.n_drives
+
+
+class TapeSystem:
+    """Models recall queues of every TAPE RSE on the grid.
+
+    Parameters
+    ----------
+    drives_per_rse:
+        Concurrent recalls a tape library sustains.
+    mount_seconds:
+        Fixed mount/seek latency per recall.
+    drive_bandwidth:
+        Sustained read rate of one drive (bytes/s).
+    failure_rate:
+        Probability a recall fails (bad media, library error).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: GridTopology,
+        replicas: ReplicaRegistry,
+        ids: IdFactory,
+        sink: Callable[[TransferEvent], None],
+        rng: np.random.Generator,
+        drives_per_rse: int = 4,
+        mount_seconds: float = 90.0,
+        drive_bandwidth: float = 300e6,
+        failure_rate: float = 0.01,
+    ) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.replicas = replicas
+        self.ids = ids
+        self.sink = sink
+        self.rng = rng
+        self.drives_per_rse = int(drives_per_rse)
+        self.mount_seconds = float(mount_seconds)
+        self.drive_bandwidth = float(drive_bandwidth)
+        self.failure_rate = float(failure_rate)
+        self._pools: Dict[str, _DrivePool] = {}
+        self.completed = 0
+        self.failed = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def tape_replicas_of(self, file_did: DID) -> List[str]:
+        """TAPE RSEs holding an available copy of the file."""
+        return [
+            r.rse_name
+            for r in self.replicas.available_replicas_of(file_did)
+            if self.topology.rse(r.rse_name).kind is RseKind.TAPE
+        ]
+
+    def stage(
+        self,
+        file_did: DID,
+        size: int,
+        tape_rse: str,
+        dest_rse: Optional[str] = None,
+        on_complete: Optional[Callable[[bool], None]] = None,
+        jeditaskid: int = 0,
+    ) -> StageRequest:
+        """Queue a recall of ``file_did`` from ``tape_rse`` onto disk.
+
+        ``dest_rse`` defaults to the tape site's DATADISK buffer.
+        ``on_complete(success)`` fires when the recall lands (or fails).
+        """
+        rse = self.topology.rse(tape_rse)
+        if rse.kind is not RseKind.TAPE:
+            raise ValueError(f"{tape_rse} is not a TAPE endpoint")
+        if self.replicas.get(file_did, tape_rse) is None:
+            raise KeyError(f"no tape replica of {file_did} at {tape_rse}")
+        if dest_rse is None:
+            dest_rse = self.topology.datadisk(rse.site_name).name
+        req = StageRequest(
+            file_did=file_did,
+            size=int(size),
+            tape_rse=tape_rse,
+            dest_rse=dest_rse,
+            submitted_at=self.engine.now,
+            on_complete=on_complete,
+            jeditaskid=jeditaskid,
+        )
+        pool = self._pools.setdefault(tape_rse, _DrivePool(self.drives_per_rse))
+        if pool.has_free_drive:
+            self._start(pool, req)
+        else:
+            pool.waiting.append(req)
+        return req
+
+    def queue_depth(self, tape_rse: str) -> int:
+        pool = self._pools.get(tape_rse)
+        return len(pool.waiting) if pool else 0
+
+    # -- internals --------------------------------------------------------------
+
+    def _start(self, pool: _DrivePool, req: StageRequest) -> None:
+        pool.busy += 1
+        started = self.engine.now
+        duration = self.mount_seconds + req.size / self.drive_bandwidth
+        fails = bool(self.rng.random() < self.failure_rate)
+        if fails:
+            duration *= float(self.rng.uniform(0.2, 1.0))
+
+        def done() -> None:
+            pool.busy -= 1
+            self._finish(req, started, ok=not fails)
+            while pool.waiting and pool.has_free_drive:
+                self._start(pool, pool.waiting.popleft())
+
+        self.engine.schedule_in(duration, done, label=f"tape:{req.file_did}")
+
+    def _finish(self, req: StageRequest, started: float, ok: bool) -> None:
+        now = self.engine.now
+        site = self.topology.rse(req.tape_rse).site_name
+        if ok:
+            if self.replicas.get(req.file_did, req.dest_rse) is None:
+                self.replicas.add(
+                    req.file_did, req.dest_rse, req.size,
+                    state=ReplicaState.AVAILABLE, now=now,
+                )
+            self.completed += 1
+        else:
+            self.failed += 1
+        self.sink(TransferEvent(
+            transfer_id=self.ids.next_transferid(),
+            lfn=req.file_did.name,
+            scope=req.file_did.scope,
+            dataset="",
+            proddblock="",
+            file_size=req.size,
+            source_rse=req.tape_rse,
+            dest_rse=req.dest_rse,
+            source_site=site,
+            destination_site=self.topology.rse(req.dest_rse).site_name,
+            activity=TransferActivity.STAGING,
+            submitted_at=req.submitted_at,
+            starttime=started,
+            endtime=now,
+            success=ok,
+            jeditaskid=req.jeditaskid,
+        ))
+        if req.on_complete is not None:
+            req.on_complete(ok)

@@ -1,0 +1,108 @@
+"""Transfer requests and ground-truth transfer events.
+
+A :class:`TransferRequest` is what the rule engine / client submits to
+the FTS-like transfer service.  A :class:`TransferEvent` is the
+ground-truth record of one completed (or failed) file movement — it
+carries the *true* job linkage (``pandaid``) that production telemetry
+lacks; the degradation layer later strips or corrupts fields to produce
+the records the matching algorithms actually see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.rucio.activities import TransferActivity
+from repro.rucio.did import DID
+
+
+@dataclass
+class TransferRequest:
+    """A queued file movement."""
+
+    request_id: int
+    file_did: DID
+    size: int
+    dest_rse: str
+    activity: TransferActivity
+    #: Ground-truth job linkage (0 when not job-driven).
+    pandaid: int = 0
+    jeditaskid: int = 0
+    #: Dataset/block context carried into the event record.
+    dataset_name: str = ""
+    proddblock: str = ""
+    submitted_at: float = 0.0
+    #: Chosen by the selector when the transfer starts.
+    source_rse: Optional[str] = None
+    priority: int = 0
+    #: Ephemeral movements (Direct-IO streams) land no replica.
+    ephemeral: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("transfer size must be non-negative")
+
+
+@dataclass
+class TransferEvent:
+    """Ground truth for one finished file transfer.
+
+    Field names deliberately mirror the paper's Rucio metadata schema
+    (`lfn`, `dataset`, `proddblock`, `scope`, `file_size`,
+    `source_site`, `destination_site`, `starttime`, `endtime`) so the
+    telemetry layer is a mostly-mechanical projection.
+    """
+
+    transfer_id: int
+    lfn: str
+    scope: str
+    dataset: str
+    proddblock: str
+    file_size: int
+    source_rse: str
+    dest_rse: str
+    source_site: str
+    destination_site: str
+    activity: TransferActivity
+    submitted_at: float
+    starttime: float
+    endtime: float
+    success: bool = True
+    #: Ground-truth linkage — NOT present in degraded telemetry.
+    pandaid: int = 0
+    jeditaskid: int = 0
+
+    def __post_init__(self) -> None:
+        if self.endtime < self.starttime:
+            raise ValueError(
+                f"transfer {self.transfer_id}: endtime {self.endtime} < starttime {self.starttime}"
+            )
+        if self.starttime < self.submitted_at:
+            raise ValueError(f"transfer {self.transfer_id}: started before submission")
+
+    @property
+    def duration(self) -> float:
+        return self.endtime - self.starttime
+
+    @property
+    def queue_wait(self) -> float:
+        return self.starttime - self.submitted_at
+
+    @property
+    def throughput(self) -> float:
+        """Achieved bytes/second (0 for zero-duration bookkeeping events)."""
+        d = self.duration
+        return self.file_size / d if d > 0 else 0.0
+
+    @property
+    def is_download(self) -> bool:
+        return self.activity.is_download
+
+    @property
+    def is_upload(self) -> bool:
+        return self.activity.is_upload
+
+    @property
+    def is_local(self) -> bool:
+        return self.source_site == self.destination_site

@@ -1,0 +1,25 @@
+"""Ready-made experiment scenarios.
+
+* :mod:`repro.scenarios.runtime` — the harness wiring engine, grid,
+  Rucio, PanDA, workload, and telemetry together.
+* :mod:`repro.scenarios.eightday` — the §5 study: an 8-day campaign,
+  degraded telemetry, and the matching pipeline over the full window.
+* :mod:`repro.scenarios.threemonth` — the §3.2 transfer-matrix study.
+* :mod:`repro.scenarios.growth` — the Fig 2 multi-year volume curve.
+"""
+
+from repro.scenarios.runtime import SimulationHarness, HarnessConfig
+from repro.scenarios.eightday import EightDayStudy, EightDayConfig
+from repro.scenarios.threemonth import ThreeMonthStudy, ThreeMonthConfig
+from repro.scenarios.growth import GrowthModel, GrowthConfig
+
+__all__ = [
+    "SimulationHarness",
+    "HarnessConfig",
+    "EightDayStudy",
+    "EightDayConfig",
+    "ThreeMonthStudy",
+    "ThreeMonthConfig",
+    "GrowthModel",
+    "GrowthConfig",
+]

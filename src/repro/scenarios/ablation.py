@@ -1,0 +1,163 @@
+"""Brokerage ablation: locality-only vs co-optimized.
+
+Runs the same seeded campaign twice — once under the production
+data-locality heuristic, once under the co-optimized broker — and
+compares the end-to-end metrics the paper says are at stake: queuing
+delay, success rate, load balance across sites, and remote movement
+volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.coopt.awareness import PerformanceAwareness
+from repro.coopt.broker2 import CoOptimizedBroker
+from repro.panda.job import Job
+from repro.scenarios.runtime import HarnessConfig, SimulationHarness
+from repro.workload.generator import WorkloadConfig
+
+
+@dataclass
+class BrokerageMetrics:
+    """Outcome metrics of one campaign."""
+
+    broker: str
+    n_jobs: int
+    success_rate: float
+    mean_queuing: float
+    p95_queuing: float
+    remote_bytes: float
+    local_bytes: float
+    #: std-dev of per-site job shares — lower = better balanced
+    load_imbalance: float
+    #: share of failures attributable to data movement vs compute —
+    #: §3.1 predicts the mix shifts when the brokerage strategy changes
+    data_error_share: float = 0.0
+    compute_error_share: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.broker}: {self.n_jobs} jobs, success {self.success_rate:.1%}, "
+            f"queue mean {self.mean_queuing:.0f}s p95 {self.p95_queuing:.0f}s, "
+            f"remote {self.remote_bytes / 1e12:.2f} TB, imbalance {self.load_imbalance:.3f}, "
+            f"errors data/compute {self.data_error_share:.0%}/{self.compute_error_share:.0%}"
+        )
+
+
+@dataclass
+class AblationConfig:
+    seed: int = 11
+    days: float = 2.0
+    analysis_tasks_per_hour: float = 8.0
+    production_tasks_per_hour: float = 1.0
+    background_transfers_per_hour: float = 60.0
+
+    def harness_config(self) -> HarnessConfig:
+        return HarnessConfig(
+            seed=self.seed,
+            workload=WorkloadConfig(
+                duration=self.days * 86400.0,
+                analysis_tasks_per_hour=self.analysis_tasks_per_hour,
+                production_tasks_per_hour=self.production_tasks_per_hour,
+                background_transfers_per_hour=self.background_transfers_per_hour,
+            ),
+        )
+
+
+def _metrics(harness: SimulationHarness, broker_name: str) -> BrokerageMetrics:
+    jobs: List[Job] = harness.panda.terminal_jobs()
+    queuing = np.array([j.queuing_time for j in jobs if j.queuing_time is not None])
+    remote = local = 0.0
+    for ev in harness.collector.transfer_events:
+        if ev.source_site and ev.source_site == ev.destination_site:
+            local += ev.file_size
+        else:
+            remote += ev.file_size
+    per_site: Dict[str, int] = {}
+    for j in jobs:
+        per_site[j.computing_site] = per_site.get(j.computing_site, 0) + 1
+    shares = np.array(list(per_site.values()), dtype=float)
+    shares = shares / shares.sum() if shares.sum() else shares
+
+    # Failure composition (§3.1's error-pattern shift observable).
+    from repro.core.analysis.errors import ErrorFamily, family_of
+
+    failed_codes = [j.error_code for j in jobs if not j.succeeded]
+    n_failed = len(failed_codes)
+    data_share = (
+        sum(1 for c in failed_codes if family_of(c) is ErrorFamily.DATA) / n_failed
+        if n_failed else 0.0
+    )
+    compute_share = (
+        sum(1 for c in failed_codes if family_of(c) is ErrorFamily.COMPUTE) / n_failed
+        if n_failed else 0.0
+    )
+
+    return BrokerageMetrics(
+        broker=broker_name,
+        n_jobs=len(jobs),
+        success_rate=harness.panda.success_fraction(),
+        mean_queuing=float(queuing.mean()) if len(queuing) else 0.0,
+        p95_queuing=float(np.percentile(queuing, 95)) if len(queuing) else 0.0,
+        remote_bytes=remote,
+        local_bytes=local,
+        load_imbalance=float(shares.std()) if len(shares) else 0.0,
+        data_error_share=data_share,
+        compute_error_share=compute_share,
+    )
+
+
+def run_locality(config: Optional[AblationConfig] = None) -> BrokerageMetrics:
+    cfg = config or AblationConfig()
+    harness = SimulationHarness(cfg.harness_config())
+    harness.run()
+    return _metrics(harness, "locality")
+
+
+def run_coopt(config: Optional[AblationConfig] = None) -> BrokerageMetrics:
+    cfg = config or AblationConfig()
+    harness = SimulationHarness(cfg.harness_config())
+    awareness = PerformanceAwareness(harness.topology)
+    # Wire the shared state into both systems' event streams.
+    collector_sink = harness.fts.sink
+
+    def combined_sink(event):
+        collector_sink(event)
+        awareness.on_transfer(event)
+
+    harness.fts.sink = combined_sink
+    harness.panda.on_job_done(awareness.on_job_done)
+    harness.panda.on_job_done(lambda j: awareness.note_backlog(j.computing_site, -1))
+    harness.panda.broker = CoOptimizedBroker(
+        harness.topology, harness.rucio, awareness, harness.rngs.get("coopt")
+    )
+    harness.run()
+    return _metrics(harness, "coopt")
+
+
+@dataclass
+class AblationResult:
+    locality: BrokerageMetrics
+    coopt: BrokerageMetrics
+
+    @property
+    def queue_speedup(self) -> float:
+        """Mean-queuing improvement factor of co-optimization."""
+        if self.coopt.mean_queuing == 0:
+            return 1.0
+        return self.locality.mean_queuing / self.coopt.mean_queuing
+
+    @property
+    def balance_gain(self) -> float:
+        """Relative reduction of load imbalance (positive = better)."""
+        if self.locality.load_imbalance == 0:
+            return 0.0
+        return 1.0 - self.coopt.load_imbalance / self.locality.load_imbalance
+
+
+def run_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
+    return AblationResult(locality=run_locality(config), coopt=run_coopt(config))

@@ -1,0 +1,71 @@
+"""Execution tracing.
+
+A lightweight append-only trace of simulator activity.  Components emit
+``TraceRecord``s (kind + subject + payload) that downstream debugging and
+the example scripts can filter; the telemetry collector is *not* built on
+this (it has stronger schema guarantees) — the trace is for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: when, what kind, which subject, free-form details."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:12.1f}] {self.kind:<20} {self.subject} {extras}".rstrip()
+
+
+class TraceLog:
+    """Bounded in-memory trace with kind-based filtering.
+
+    ``capacity`` bounds memory for long runs; once full, the oldest half
+    is dropped (coarse ring-buffer semantics are fine for a debug aid).
+    """
+
+    def __init__(self, capacity: int = 200_000, enabled: bool = True) -> None:
+        self.capacity = int(capacity)
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, time: float, kind: str, subject: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self._records) >= self.capacity:
+            keep = self.capacity // 2
+            self.dropped += len(self._records) - keep
+            self._records = self._records[-keep:]
+        self._records.append(TraceRecord(time=time, kind=kind, subject=subject, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def by_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self._records if r.kind == kind]
+
+    def by_subject(self, subject: str) -> List[TraceRecord]:
+        return [r for r in self._records if r.subject == subject]
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of record kinds."""
+        out: Dict[str, int] = {}
+        for r in self._records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def tail(self, n: int = 20) -> Iterable[TraceRecord]:
+        return self._records[-n:]

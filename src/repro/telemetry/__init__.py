@@ -1,0 +1,28 @@
+"""Telemetry: ground truth collection and metadata degradation.
+
+The simulator knows exactly which job caused which transfer.  Production
+ATLAS telemetry does not — transfer records carry no ``pandaid``, sites
+get mislabelled ``UNKNOWN``, sizes are recorded imprecisely, identifiers
+go missing (challenges 1-3 in the paper's introduction).  This package
+collects the ground truth and then *deliberately erases it* the way
+production metadata erases it, producing the degraded record sets the
+matching algorithms operate on, while keeping the truth aside so the
+matchers can additionally be scored (precision/recall — an evaluation
+the paper itself could not perform).
+"""
+
+from repro.telemetry.records import JobRecord, FileRecord, TransferRecord
+from repro.telemetry.groundtruth import GroundTruth
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.degradation import DegradationConfig, MetadataDegrader, DegradedTelemetry
+
+__all__ = [
+    "JobRecord",
+    "FileRecord",
+    "TransferRecord",
+    "GroundTruth",
+    "TelemetryCollector",
+    "DegradationConfig",
+    "MetadataDegrader",
+    "DegradedTelemetry",
+]

@@ -1,0 +1,71 @@
+"""Telemetry collector.
+
+Subscribes to the transfer service (every ground-truth
+:class:`TransferEvent`) and the PanDA server (every terminal job), and
+accumulates the raw material the degradation layer later projects into
+query-able records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.panda.job import Job, JobKind
+from repro.panda.task import JediTask, TaskStatus
+from repro.rucio.catalog import DidCatalog
+from repro.rucio.transfer import TransferEvent
+
+
+class TelemetryCollector:
+    """Accumulates ground-truth events during a simulation run."""
+
+    def __init__(self, catalog: DidCatalog) -> None:
+        self.catalog = catalog
+        self.transfer_events: List[TransferEvent] = []
+        self.completed_jobs: List[Job] = []
+        self._jobs_by_id: Dict[int, Job] = {}
+
+    # -- sinks (wired into FTS and PanDA) ------------------------------------
+
+    def on_transfer(self, event: TransferEvent) -> None:
+        self.transfer_events.append(event)
+
+    def on_job_done(self, job: Job) -> None:
+        if job.pandaid in self._jobs_by_id:
+            raise ValueError(f"job {job.pandaid} reported done twice")
+        self._jobs_by_id[job.pandaid] = job
+        self.completed_jobs.append(job)
+
+    # -- accessors ---------------------------------------------------------------
+
+    def job(self, pandaid: int) -> Optional[Job]:
+        return self._jobs_by_id.get(pandaid)
+
+    @property
+    def n_transfers(self) -> int:
+        return len(self.transfer_events)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.completed_jobs)
+
+    def task_status_label(self, task: Optional[JediTask]) -> str:
+        if task is None:
+            return "finished"
+        return task.status().value
+
+    def jobs_of_kind(self, kind: JobKind) -> List[Job]:
+        return [j for j in self.completed_jobs if j.kind is kind]
+
+    def transfers_in_window(self, t0: float, t1: float) -> List[TransferEvent]:
+        """Transfers whose start falls in [t0, t1)."""
+        return [e for e in self.transfer_events if t0 <= e.starttime < t1]
+
+    def jobs_completed_in_window(self, t0: float, t1: float) -> List[Job]:
+        """Jobs whose end falls in [t0, t1) — the query module only
+        reports jobs completed before the end of the interval (§4.2)."""
+        return [
+            j
+            for j in self.completed_jobs
+            if j.end_time is not None and t0 <= j.end_time < t1
+        ]

@@ -1,0 +1,274 @@
+"""Metadata degradation.
+
+Projects the collector's ground truth into the record sets a real
+analysis would retrieve from OpenSearch, injecting each defect the
+paper documents:
+
+* **no job identifier on transfers** — always (that's the schema);
+* **missing ``jeditaskid``** — a per-activity fraction of job/task
+  driven transfer records loses it; Rucio-autonomous background
+  movement never had one;
+* **``UNKNOWN`` site labels** — "either the source site or destination
+  site is recorded as unknown or with an invalid name" (§4.3); the RM2
+  population;
+* **imprecise file sizes** — "file sizes are not recorded precisely
+  down to the byte level" (§4.3); Direct-IO streams additionally record
+  partial-read byte counts;
+* **block-granularity mismatch on production records** — production
+  transfer rows report the task-level dataset as their block while
+  PanDA file rows carry sub-block names, so the attribute join never
+  succeeds — reproducing Table 1's 0% production match;
+* **lost rows** — a small fraction of transfer and file rows simply
+  never made it into the store.
+
+Every defect probability is a knob; the defaults are calibrated so the
+8-day scenario lands in the paper's reported bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.panda.job import Job, JobKind
+from repro.panda.task import JediTask
+from repro.rucio.activities import TransferActivity
+from repro.rucio.transfer import TransferEvent
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.groundtruth import GroundTruth
+from repro.telemetry.records import UNKNOWN_SITE, FileRecord, JobRecord, TransferRecord
+
+
+@dataclass
+class DegradationConfig:
+    """Defect injection probabilities."""
+
+    #: transfer rows silently lost
+    p_drop_transfer: float = 0.02
+    #: file rows silently lost (kills exact matching for the job)
+    p_drop_file: float = 0.01
+    #: per-activity probability a transfer row loses its jeditaskid
+    p_drop_jeditaskid: Dict[TransferActivity, float] = field(
+        default_factory=lambda: {
+            TransferActivity.ANALYSIS_DOWNLOAD: 0.02,
+            TransferActivity.ANALYSIS_UPLOAD: 0.01,
+            TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO: 0.05,
+            TransferActivity.PRODUCTION_DOWNLOAD: 0.02,
+            TransferActivity.PRODUCTION_UPLOAD: 0.02,
+        }
+    )
+    #: per-activity probability the destination site is recorded UNKNOWN
+    p_unknown_destination: Dict[TransferActivity, float] = field(
+        default_factory=lambda: {
+            TransferActivity.ANALYSIS_DOWNLOAD: 0.35,
+            TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO: 0.40,
+            TransferActivity.ANALYSIS_UPLOAD: 0.01,
+            TransferActivity.PRODUCTION_DOWNLOAD: 0.05,
+            TransferActivity.PRODUCTION_UPLOAD: 0.05,
+        }
+    )
+    #: per-activity probability the source site is recorded UNKNOWN
+    p_unknown_source: Dict[TransferActivity, float] = field(
+        default_factory=lambda: {
+            TransferActivity.ANALYSIS_DOWNLOAD: 0.04,
+            TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO: 0.05,
+            TransferActivity.ANALYSIS_UPLOAD: 0.01,
+        }
+    )
+    #: per-activity probability the recorded size deviates from truth
+    p_size_imprecise: Dict[TransferActivity, float] = field(
+        default_factory=lambda: {
+            TransferActivity.ANALYSIS_DOWNLOAD: 0.55,
+            TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO: 0.92,
+            TransferActivity.ANALYSIS_UPLOAD: 0.01,
+            TransferActivity.PRODUCTION_DOWNLOAD: 0.10,
+            TransferActivity.PRODUCTION_UPLOAD: 0.10,
+        }
+    )
+    #: rewrite production transfer blocks to task granularity
+    production_block_granularity: bool = True
+    #: round transfer timestamps to whole seconds
+    round_timestamps: bool = True
+    #: default drop-jeditaskid probability for unlisted activities
+    p_drop_jeditaskid_default: float = 0.05
+
+    def drop_taskid_p(self, activity: TransferActivity) -> float:
+        return self.p_drop_jeditaskid.get(activity, self.p_drop_jeditaskid_default)
+
+
+@dataclass
+class DegradedTelemetry:
+    """What the analysis actually gets to see — plus the hidden truth."""
+
+    jobs: List[JobRecord]
+    files: List[FileRecord]
+    transfers: List[TransferRecord]
+    ground_truth: GroundTruth
+
+    @property
+    def n_transfers_with_taskid(self) -> int:
+        return sum(1 for t in self.transfers if t.has_jeditaskid)
+
+
+class MetadataDegrader:
+    """Applies a :class:`DegradationConfig` to collected ground truth."""
+
+    def __init__(self, config: Optional[DegradationConfig], rng: np.random.Generator) -> None:
+        self.config = config or DegradationConfig()
+        self.rng = rng
+
+    # -- top level ---------------------------------------------------------------
+
+    def degrade(
+        self,
+        collector: TelemetryCollector,
+        tasks: Dict[int, JediTask],
+    ) -> DegradedTelemetry:
+        gt = GroundTruth()
+        events_by_job: Dict[int, List[TransferEvent]] = {}
+        for ev in collector.transfer_events:
+            if ev.pandaid:
+                events_by_job.setdefault(ev.pandaid, []).append(ev)
+
+        transfers: List[TransferRecord] = []
+        for ev in collector.transfer_events:
+            rec = self.degrade_transfer(ev)
+            if rec is None:
+                continue
+            gt.link(rec.row_id, ev.pandaid, ev.source_site, ev.destination_site)
+            transfers.append(rec)
+
+        jobs = [self.job_record(j, tasks.get(j.jeditaskid)) for j in collector.completed_jobs]
+
+        files: List[FileRecord] = []
+        for j in collector.completed_jobs:
+            files.extend(self.file_records(j, collector, events_by_job.get(j.pandaid, [])))
+
+        return DegradedTelemetry(jobs=jobs, files=files, transfers=transfers, ground_truth=gt)
+
+    # -- per-record projections ------------------------------------------------------
+
+    def job_record(self, job: Job, task: Optional[JediTask]) -> JobRecord:
+        """Jobs come from the PanDA archive and are reliable."""
+        return JobRecord(
+            pandaid=job.pandaid,
+            jeditaskid=job.jeditaskid,
+            computingsite=job.computing_site,
+            prodsourcelabel="user" if job.kind is JobKind.ANALYSIS else "managed",
+            status="finished" if job.succeeded else "failed",
+            taskstatus=task.status().value if task is not None else "finished",
+            creationtime=job.creation_time,
+            starttime=job.start_time,
+            endtime=job.end_time,
+            ninputfilebytes=job.ninputfilebytes,
+            noutputfilebytes=job.noutputfilebytes,
+            error_code=job.error_code,
+            error_message=job.error_message,
+        )
+
+    def file_records(
+        self,
+        job: Job,
+        collector: TelemetryCollector,
+        job_events: List[TransferEvent],
+    ) -> List[FileRecord]:
+        """PanDA file-table rows for one job (inputs + produced outputs)."""
+        out: List[FileRecord] = []
+        if job.input_file_dids:
+            input_files = [collector.catalog.file(fd) for fd in job.input_file_dids]
+        elif job.input_dataset is not None:
+            input_files = collector.catalog.resolve_files(job.input_dataset)
+        else:
+            input_files = []
+        if input_files:
+            for f in input_files:
+                if self.rng.random() < self.config.p_drop_file:
+                    continue
+                out.append(
+                    FileRecord(
+                        pandaid=job.pandaid,
+                        jeditaskid=job.jeditaskid,
+                        lfn=f.lfn,
+                        dataset=f.dataset_name,
+                        proddblock=f.proddblock,
+                        scope=f.scope,
+                        file_size=f.size,
+                        ftype="input",
+                    )
+                )
+        for ev in job_events:
+            if not ev.activity.is_upload:
+                continue
+            if self.rng.random() < self.config.p_drop_file:
+                continue
+            out.append(
+                FileRecord(
+                    pandaid=job.pandaid,
+                    jeditaskid=job.jeditaskid,
+                    lfn=ev.lfn,
+                    dataset=ev.dataset,
+                    proddblock=ev.proddblock,
+                    scope=ev.scope,
+                    file_size=ev.file_size,
+                    ftype="output",
+                )
+            )
+        return out
+
+    def degrade_transfer(self, ev: TransferEvent) -> Optional[TransferRecord]:
+        """One transfer event -> one (possibly defective) record, or None."""
+        cfg = self.config
+        if self.rng.random() < cfg.p_drop_transfer:
+            return None
+        act = ev.activity
+
+        jeditaskid = ev.jeditaskid
+        if jeditaskid and self.rng.random() < cfg.drop_taskid_p(act):
+            jeditaskid = 0
+
+        src, dst = ev.source_site, ev.destination_site
+        if self.rng.random() < cfg.p_unknown_destination.get(act, 0.0):
+            dst = UNKNOWN_SITE
+        elif self.rng.random() < cfg.p_unknown_source.get(act, 0.0):
+            src = UNKNOWN_SITE
+
+        size = ev.file_size
+        if self.rng.random() < cfg.p_size_imprecise.get(act, 0.0):
+            if act is TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO:
+                # Streaming reads record bytes actually read.
+                size = max(1, int(size * self.rng.uniform(0.15, 0.98)))
+            else:
+                # Coarse rounding / accounting drift (always != truth).
+                drift = int(self.rng.integers(1, 65537))
+                sign = 1 if self.rng.random() < 0.5 else -1
+                size = max(1, size + sign * drift)
+
+        proddblock = ev.proddblock
+        if cfg.production_block_granularity and act.is_production:
+            # Production conveyor reports the task-level container as the
+            # block; PanDA file rows keep the _subNNN granularity.
+            proddblock = f"{ev.dataset}#task"
+
+        t0, t1 = ev.starttime, ev.endtime
+        if cfg.round_timestamps:
+            t0, t1 = float(np.floor(t0)), float(np.ceil(t1))
+
+        return TransferRecord(
+            row_id=ev.transfer_id,
+            lfn=ev.lfn,
+            scope=ev.scope,
+            dataset=ev.dataset,
+            proddblock=proddblock,
+            file_size=size,
+            source_site=src,
+            destination_site=dst,
+            activity=act.value,
+            is_download=act.is_download,
+            is_upload=act.is_upload,
+            starttime=t0,
+            endtime=t1,
+            success=ev.success,
+            jeditaskid=jeditaskid,
+        )

@@ -1,0 +1,53 @@
+"""Ground truth: the true job ↔ transfer linkage.
+
+Kept entirely separate from the degraded records so no matching code
+can accidentally consult it; only the evaluation module
+(:mod:`repro.core.matching.evaluation`) reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set, Tuple
+
+
+@dataclass
+class GroundTruth:
+    """Bidirectional truth maps, keyed by transfer ``row_id`` / ``pandaid``."""
+
+    #: transfer row_id -> true pandaid (0 = not job-driven)
+    transfer_to_job: Dict[int, int] = field(default_factory=dict)
+    #: pandaid -> true transfer row_ids
+    job_to_transfers: Dict[int, Set[int]] = field(default_factory=dict)
+    #: transfer row_id -> (true source site, true destination site)
+    true_sites: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+
+    def link(
+        self,
+        transfer_row_id: int,
+        pandaid: int,
+        source_site: str = "",
+        destination_site: str = "",
+    ) -> None:
+        if transfer_row_id in self.transfer_to_job:
+            raise ValueError(f"transfer {transfer_row_id} already linked")
+        self.transfer_to_job[transfer_row_id] = pandaid
+        if pandaid:
+            self.job_to_transfers.setdefault(pandaid, set()).add(transfer_row_id)
+        if source_site or destination_site:
+            self.true_sites[transfer_row_id] = (source_site, destination_site)
+
+    def true_job_of(self, transfer_row_id: int) -> int:
+        """True pandaid for a transfer (0 when background/task-driven)."""
+        return self.transfer_to_job.get(transfer_row_id, 0)
+
+    def true_transfers_of(self, pandaid: int) -> FrozenSet[int]:
+        return frozenset(self.job_to_transfers.get(pandaid, frozenset()))
+
+    @property
+    def n_job_driven_transfers(self) -> int:
+        return sum(1 for v in self.transfer_to_job.values() if v)
+
+    @property
+    def n_jobs_with_transfers(self) -> int:
+        return len(self.job_to_transfers)

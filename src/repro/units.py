@@ -1,0 +1,74 @@
+"""Unit helpers for data sizes, rates, and durations.
+
+All simulator-internal quantities use SI base units: bytes for sizes,
+seconds for durations, bytes/second for rates.  These helpers exist so
+that scenario definitions and reports can speak the paper's language
+(terabytes, petabytes, MBps, days) without magic constants scattered
+through the code.
+"""
+
+from __future__ import annotations
+
+# -- size constants (decimal, matching the storage industry and the paper) --
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+PB = 10**15
+EB = 10**18
+
+# -- time constants -----------------------------------------------------------
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+YEAR = 365.25 * DAY
+
+
+def bytes_to_human(n: float) -> str:
+    """Render a byte count with the most natural decimal prefix.
+
+    >>> bytes_to_human(1_500_000_000_000)
+    '1.50 TB'
+    """
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, name in ((EB, "EB"), (PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if n >= unit:
+            return f"{sign}{n / unit:.2f} {name}"
+    return f"{sign}{n:.0f} B"
+
+
+def rate_to_mbps(bytes_per_second: float) -> float:
+    """Convert bytes/second to the paper's MBps (megabytes per second)."""
+    return bytes_per_second / MB
+
+
+def mbps(megabytes_per_second: float) -> float:
+    """Convert the paper's MBps into simulator bytes/second."""
+    return megabytes_per_second * MB
+
+
+def seconds_to_human(t: float) -> str:
+    """Render a duration compactly: ``3d 04:05:06`` / ``04:05:06`` / ``42s``.
+
+    >>> seconds_to_human(93784)
+    '1d 02:03:04'
+    """
+    t = float(t)
+    sign = "-" if t < 0 else ""
+    t = abs(t)
+    if t < MINUTE:
+        return f"{sign}{t:.0f}s"
+    days, rem = divmod(int(round(t)), int(DAY))
+    hours, rem = divmod(rem, int(HOUR))
+    minutes, secs = divmod(rem, int(MINUTE))
+    clock = f"{hours:02d}:{minutes:02d}:{secs:02d}"
+    return f"{sign}{days}d {clock}" if days else f"{sign}{clock}"
+
+
+def ratio_pct(part: float, whole: float) -> float:
+    """Percentage ``part / whole * 100`` that is 0.0 for an empty whole."""
+    return 100.0 * part / whole if whole else 0.0

@@ -1,0 +1,22 @@
+"""Workload generation.
+
+Synthesises the job and data population the paper observes: user
+analysis tasks (the 966k user jobs of §5.1), production campaigns
+(whose transfers carry ``jeditaskid`` but never match, Table 1), and
+the Rucio-autonomous background movement (rebalancing/consolidation)
+that makes up the bulk of the 6.8M transfer events.
+"""
+
+from repro.workload.profiles import WorkloadProfile, ANALYSIS_DEFAULT, PRODUCTION_DEFAULT
+from repro.workload.arrival import ArrivalProcess, DiurnalPoissonArrivals
+from repro.workload.generator import WorkloadGenerator, WorkloadConfig
+
+__all__ = [
+    "WorkloadProfile",
+    "ANALYSIS_DEFAULT",
+    "PRODUCTION_DEFAULT",
+    "ArrivalProcess",
+    "DiurnalPoissonArrivals",
+    "WorkloadGenerator",
+    "WorkloadConfig",
+]

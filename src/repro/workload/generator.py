@@ -1,0 +1,413 @@
+"""Workload generator: tasks, datasets, jobs, and background movement.
+
+Drives the whole simulated campaign:
+
+* **Analysis tasks** — a user submits a task against an input dataset
+  that already exists somewhere on the grid; the task's jobs arrive in
+  a short burst and are brokered individually.
+* **Production tasks** — inputs are pre-staged to the processing sites
+  through replication rules (*Production Download*, task-level, not
+  job-level), jobs read locally, and every job uploads outputs to the
+  task's aggregation point (*Production Upload*).
+* **Background movement** — Rucio-autonomous rebalancing and
+  consolidation transfers that carry no task identity at all; they are
+  the reason only ~23% of the paper's transfer events have a
+  ``jeditaskid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.grid.rse import RseKind, rse_name
+from repro.grid.tier import Tier
+from repro.grid.topology import GridTopology
+from repro.ids import IdFactory
+from repro.panda.job import DataAccessMode, Job, JobKind
+from repro.panda.server import PandaServer
+from repro.panda.task import JediTask
+from repro.rng import lognormal_with_mean
+from repro.rucio.activities import TransferActivity
+from repro.rucio.client import RucioClient
+from repro.rucio.did import DID, DatasetDid, FileDid
+from repro.rucio.rules import RuleEngine
+from repro.rucio.transfer import TransferRequest
+from repro.sim.engine import Engine
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.idds.delivery import DeliveryService
+from repro.workload.arrival import DiurnalPoissonArrivals
+from repro.workload.profiles import ANALYSIS_DEFAULT, PRODUCTION_DEFAULT, WorkloadProfile
+
+
+@dataclass
+class WorkloadConfig:
+    """Campaign intensity and mix."""
+
+    duration: float = 86400.0 * 8  # the paper's 8-day window
+    analysis_tasks_per_hour: float = 4.0
+    production_tasks_per_hour: float = 0.8
+    background_transfers_per_hour: float = 300.0
+    analysis_profile: WorkloadProfile = field(default_factory=lambda: ANALYSIS_DEFAULT)
+    production_profile: WorkloadProfile = field(default_factory=lambda: PRODUCTION_DEFAULT)
+    #: delay between a production task's pre-staging start and its jobs.
+    production_staging_lead: float = 4 * 3600.0
+    #: number of distinct analysis users.
+    n_users: int = 40
+    #: share of background movements that stay intra-site (Fig 3's
+    #: diagonal dominance: 737.85 of 957.98 PB were local).
+    local_background_fraction: float = 0.77
+    #: share of production inputs whose custodial copy lives on TAPE
+    #: (Data Carousel processing).
+    production_tape_fraction: float = 0.4
+    #: release production jobs through iDDS-style fine-grained delivery
+    #: instead of a fixed staging lead.
+    use_idds: bool = False
+
+
+class WorkloadGenerator:
+    """Creates and schedules the whole campaign on the engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: GridTopology,
+        rucio: RucioClient,
+        rules: RuleEngine,
+        panda: PandaServer,
+        ids: IdFactory,
+        rng: np.random.Generator,
+        config: Optional[WorkloadConfig] = None,
+        delivery: Optional["DeliveryService"] = None,
+    ) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.rucio = rucio
+        self.rules = rules
+        self.panda = panda
+        self.ids = ids
+        self.rng = rng
+        self.config = config or WorkloadConfig()
+        self.delivery = delivery
+        if self.config.use_idds and delivery is None:
+            raise ValueError("use_idds requires a DeliveryService")
+
+        self._placement_sites = self.topology.real_sites()
+        weights = np.array(
+            [
+                {Tier.T0: 10.0, Tier.T1: 6.0, Tier.T2: 1.0, Tier.T3: 0.2}[s.tier]
+                for s in self._placement_sites
+            ]
+        )
+        self._placement_weights = weights / weights.sum()
+
+        self.n_analysis_tasks = 0
+        self.n_production_tasks = 0
+        self.n_background = 0
+        #: files known to have at least one durable replica — maintained
+        #: incrementally so background sampling is O(1), not O(|files|).
+        self._placed_files: List[FileDid] = []
+        #: demand signal: rebalancing prefers recently-used datasets.
+        from repro.rucio.popularity import PopularityTracker
+
+        self.popularity = PopularityTracker()
+
+    # -- campaign scheduling -----------------------------------------------------
+
+    def prime(self) -> None:
+        """Schedule every arrival for the configured duration."""
+        cfg = self.config
+        ana = DiurnalPoissonArrivals(cfg.analysis_tasks_per_hour, self.rng)
+        prod = DiurnalPoissonArrivals(cfg.production_tasks_per_hour, self.rng, amplitude=0.2)
+        bg = DiurnalPoissonArrivals(cfg.background_transfers_per_hour, self.rng, amplitude=0.3)
+        for t in ana.sample(0.0, cfg.duration):
+            self.engine.schedule_at(t, self._spawn_analysis_task, label="task:analysis")
+        for t in prod.sample(0.0, cfg.duration):
+            self.engine.schedule_at(t, self._spawn_production_task, label="task:production")
+        for t in bg.sample(0.0, cfg.duration):
+            self.engine.schedule_at(t, self._spawn_background_transfer, label="bg-transfer")
+
+    # -- dataset fabrication ---------------------------------------------------------
+
+    def _pick_sites(self, n: int, tier_max: Optional[int] = None) -> List[str]:
+        sites = self._placement_sites
+        weights = self._placement_weights
+        if tier_max is not None:
+            mask = np.array([s.tier.value <= tier_max for s in sites])
+            weights = weights * mask
+            if weights.sum() == 0:
+                raise RuntimeError("no sites satisfy the tier filter")
+            weights = weights / weights.sum()
+        idx = self.rng.choice(len(sites), size=min(n, len(sites)), replace=False, p=weights)
+        return [sites[int(i)].name for i in np.atleast_1d(idx)]
+
+    def _make_dataset(
+        self, scope: str, jeditaskid: int, profile: WorkloadProfile, blocked: bool
+    ) -> DatasetDid:
+        """Register a dataset and its files.
+
+        ``blocked`` datasets carry block-level ``proddblock`` names
+        (``<dataset>_subNNN``) on their files — production style.
+        Analysis inputs use the dataset name itself as the block.
+        """
+        name = self.ids.make_dataset_name(scope, jeditaskid)
+        ds = DatasetDid(did=DID(scope=scope, name=name), jeditaskid=jeditaskid)
+        lo, hi = profile.files_per_dataset
+        n_files = int(self.rng.integers(lo, hi + 1))
+        files: List[FileDid] = []
+        for i in range(n_files):
+            size = int(lognormal_with_mean(self.rng, profile.file_size_mean, profile.file_size_sigma))
+            block = f"{name}_sub{i // 4:03d}" if blocked else name
+            f = FileDid(
+                did=DID(scope=scope, name=self.ids.make_lfn(scope)),
+                size=max(1, size),
+                dataset_name=name,
+                proddblock=block,
+            )
+            self.rucio.catalog.register_file(f)
+            files.append(f)
+            ds.file_dids.append(f.did)
+        self.rucio.catalog.register_dataset(ds)
+        return ds
+
+    def _place_dataset(self, ds: DatasetDid, sites: List[str], kind: RseKind) -> None:
+        """Materialise replicas directly (pre-existing data, no transfers)."""
+        now = self.engine.now
+        files = self.rucio.catalog.dataset_files(ds.did)
+        for site in sites:
+            rse = rse_name(site, kind)
+            for f in files:
+                if self.rucio.replicas.get(f.did, rse) is None:
+                    self.rucio.replicas.add(f.did, rse, f.size, now=now)
+        self._placed_files.extend(files)
+
+    # -- analysis tasks ---------------------------------------------------------------
+
+    def _spawn_analysis_task(self) -> None:
+        cfg = self.config
+        profile = cfg.analysis_profile
+        self.n_analysis_tasks += 1
+        user = f"user.u{int(self.rng.integers(cfg.n_users)):03d}"
+        jeditaskid = self.ids.next_jeditaskid()
+
+        ds = self._make_dataset(user, jeditaskid, profile, blocked=False)
+        lo, hi = profile.initial_replicas
+        n_rep = int(self.rng.integers(lo, hi + 1))
+        self._place_dataset(ds, self._pick_sites(n_rep), RseKind.DATADISK)
+
+        modes = list(profile.access_mode_mix)
+        probs = np.array([profile.access_mode_mix[m] for m in modes])
+        mode = modes[int(self.rng.choice(len(modes), p=probs))]
+
+        task = JediTask(
+            jeditaskid=jeditaskid, kind=JobKind.ANALYSIS, scope=user,
+            access_mode=mode, input_dataset=ds.did, created_at=self.engine.now,
+        )
+        self.panda.register_task(task)
+
+        chunks = self._partition_files(ds, profile)
+        self.popularity.record_access(ds.did, self.engine.now, weight=len(chunks))
+        # Users who copy/stream inputs rarely also register outputs
+        # through Rucio (their workflows keep outputs on local scratch);
+        # upload jobs are predominantly direct-local readers.
+        p_up = profile.upload_probability * (1.0 if mode is DataAccessMode.DIRECT_LOCAL else 0.25)
+        uploads = self.rng.random(len(chunks)) < p_up
+        for k, chunk in enumerate(chunks):
+            delay = float(self.rng.exponential(120.0)) * (k + 1)
+            self.engine.schedule_in(
+                delay,
+                lambda m=mode, u=bool(uploads[k]), tid=jeditaskid, d=ds.did, c=chunk, sc=user: (
+                    self._submit_job(JobKind.ANALYSIS, m, tid, d, c, sc, u, profile)
+                ),
+                label="job:analysis",
+            )
+
+    def _partition_files(self, ds: DatasetDid, profile: WorkloadProfile):
+        """Split the dataset's files into per-job chunks (JEDI-style).
+
+        Draws a target job count from the profile, then hands each job a
+        contiguous slice; a task never has more jobs than files.
+        """
+        files = self.rucio.catalog.dataset_files(ds.did)
+        n_jobs = int(self.rng.integers(profile.jobs_per_task[0], profile.jobs_per_task[1] + 1))
+        n_jobs = max(1, min(n_jobs, len(files)))
+        bounds = np.linspace(0, len(files), n_jobs + 1).astype(int)
+        return [files[bounds[i]: bounds[i + 1]] for i in range(n_jobs) if bounds[i] < bounds[i + 1]]
+
+    def _submit_job(
+        self,
+        kind: JobKind,
+        mode: DataAccessMode,
+        jeditaskid: int,
+        dataset: DID,
+        chunk: List[FileDid],
+        scope: str,
+        uploads: bool,
+        profile: WorkloadProfile,
+        output_destination: str = "",
+    ) -> None:
+        out_bytes = 0
+        if uploads:
+            out_bytes = max(
+                1,
+                int(lognormal_with_mean(self.rng, profile.output_bytes_mean, profile.output_bytes_sigma)),
+            )
+        job = Job(
+            pandaid=self.ids.next_pandaid(),
+            jeditaskid=jeditaskid,
+            kind=kind,
+            access_mode=mode,
+            input_dataset=dataset,
+            input_file_dids=[f.did for f in chunk],
+            ninputfilebytes=sum(f.size for f in chunk),
+            noutputfilebytes=out_bytes,
+            creation_time=self.engine.now,
+            scope=scope,
+            payload_walltime=max(
+                60.0, float(lognormal_with_mean(self.rng, profile.walltime_mean, profile.walltime_sigma))
+            ),
+            uploads_output=uploads,
+            output_destination=output_destination,
+        )
+        self.panda.submit(job)
+
+    # -- production tasks ----------------------------------------------------------------
+
+    def _spawn_production_task(self) -> None:
+        cfg = self.config
+        profile = cfg.production_profile
+        self.n_production_tasks += 1
+        scope = "mc23_13p6TeV"
+        jeditaskid = self.ids.next_jeditaskid()
+
+        ds = self._make_dataset(scope, jeditaskid, profile, blocked=True)
+        # Custodial copy lives at Tier-0/1; a fraction sits on TAPE only
+        # (Data Carousel processing — recalls precede any transfer).
+        source = self._pick_sites(1, tier_max=1)
+        on_tape = self.rng.random() < cfg.production_tape_fraction
+        self._place_dataset(ds, source, RseKind.TAPE if on_tape else RseKind.DATADISK)
+
+        # Task-level pre-staging to a processing site (Production
+        # Download: jeditaskid set, no pandaid — these are task-driven).
+        # Half the campaigns process where the custodial copy already
+        # sits; tape-resident inputs always need a staging rule.
+        if not on_tape and self.rng.random() < 0.5:
+            proc_sites = source
+        else:
+            proc_sites = source if self.rng.random() < 0.5 else self._pick_sites(1, tier_max=2)
+            for site in proc_sites:
+                self.rules.pin_dataset_at_site(
+                    ds.did, site, self.engine.now,
+                    lifetime=cfg.duration,
+                    activity=TransferActivity.PRODUCTION_DOWNLOAD,
+                    jeditaskid=jeditaskid,
+                )
+
+        task = JediTask(
+            jeditaskid=jeditaskid, kind=JobKind.PRODUCTION, scope=scope,
+            access_mode=DataAccessMode.DIRECT_LOCAL, input_dataset=ds.did,
+            output_destination=source[0], created_at=self.engine.now,
+        )
+        self.panda.register_task(task)
+
+        chunks = self._partition_files(ds, profile)
+        if cfg.use_idds:
+            self._deliver_with_idds(jeditaskid, ds, chunks, proc_sites[0], profile, source[0])
+        else:
+            for k, chunk in enumerate(chunks):
+                delay = cfg.production_staging_lead + float(self.rng.exponential(300.0)) * (k + 1)
+                self.engine.schedule_in(
+                    delay,
+                    lambda tid=jeditaskid, d=ds.did, c=chunk, dest=source[0]: self._submit_job(
+                        JobKind.PRODUCTION, DataAccessMode.DIRECT_LOCAL, tid, d, c,
+                        "mc23_13p6TeV", True, profile, output_destination=dest,
+                    ),
+                    label="job:production",
+                )
+
+    def _deliver_with_idds(self, jeditaskid, ds, chunks, proc_site, profile, dest) -> None:
+        """Release each job the moment its input chunk has landed."""
+        from repro.idds.delivery import DeliveryPlan
+
+        assert self.delivery is not None
+
+        def on_ready(idx, chunk, tid=jeditaskid, d=ds.did):
+            self._submit_job(
+                JobKind.PRODUCTION, DataAccessMode.DIRECT_LOCAL, tid, d, list(chunk),
+                "mc23_13p6TeV", True, profile, output_destination=dest,
+            )
+
+        self.delivery.submit(DeliveryPlan(
+            jeditaskid=jeditaskid, site=proc_site,
+            chunks=[list(c) for c in chunks], on_chunk_ready=on_ready,
+        ))
+
+    # -- background movement -----------------------------------------------------------------
+
+    def _spawn_background_transfer(self) -> None:
+        """One Rucio-autonomous movement.
+
+        Most background byte volume on the real grid is *intra-site*
+        (storage consolidation, tape recalls, staging between disk
+        classes) — that local mass is what puts Fig 3's weight on the
+        diagonal.  A ``local_background_fraction`` of events therefore
+        copy a file within the site that already holds it; the rest
+        rebalance to a random remote site.
+        """
+        if not self._placed_files:
+            return
+        # Half of the rebalancing follows demand (popular datasets get
+        # extra copies, Rucio-style); the rest is uniform housekeeping.
+        f: Optional[FileDid] = None
+        if self.rng.random() < 0.5:
+            popular = self.popularity.pick_weighted(self.engine.now, self.rng)
+            if popular is not None:
+                files = self.rucio.catalog.dataset_files(popular)
+                if files:
+                    f = files[int(self.rng.integers(len(files)))]
+        if f is None:
+            f = self._placed_files[int(self.rng.integers(len(self._placed_files)))]
+        if not self.rucio.replicas.replicas_of(f.did):
+            return
+        self.n_background += 1
+
+        if self.rng.random() < self.config.local_background_fraction:
+            # Local consolidation: move within a site that holds the file.
+            holders = sorted(self.rucio.replicas.sites_with_file(f.did))
+            if not holders:
+                return
+            site = holders[int(self.rng.integers(len(holders)))]
+            self.rucio.transfers.submit(
+                TransferRequest(
+                    request_id=self.ids.next_transferid(),
+                    file_did=f.did,
+                    size=f.size,
+                    dest_rse=rse_name(site, RseKind.SCRATCHDISK),
+                    activity=TransferActivity.DATA_CONSOLIDATION,
+                    dataset_name=f.dataset_name,
+                    proddblock=f.proddblock,
+                    ephemeral=True,
+                )
+            )
+            return
+
+        dest_site = self._pick_sites(1)[0]
+        dest_rse = rse_name(dest_site, RseKind.DATADISK)
+        if self.rucio.replicas.get(f.did, dest_rse) is not None:
+            return
+        self.rucio.transfers.submit(
+            TransferRequest(
+                request_id=self.ids.next_transferid(),
+                file_did=f.did,
+                size=f.size,
+                dest_rse=dest_rse,
+                activity=TransferActivity.DATA_REBALANCING,
+                dataset_name=f.dataset_name,
+                proddblock=f.proddblock,
+            )
+        )

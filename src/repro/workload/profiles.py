@@ -1,0 +1,88 @@
+"""Workload profiles: the statistical shape of tasks and jobs.
+
+Numbers are chosen to reproduce the paper's observed *shapes*: analysis
+input files of a few GB (the case studies move 2.1-20.5 GB files),
+heavy-tailed walltimes, a dominant direct-local-read population (so
+fewer than a few percent of jobs generate matchable transfer events),
+and a small uploading minority (Table 1's Analysis Upload count is tiny
+but almost fully matched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.panda.job import DataAccessMode
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Distributional parameters for one job population.
+
+    Sizes in bytes, times in seconds.  All draws are lognormal with a
+    target arithmetic mean (see :func:`repro.rng.lognormal_with_mean`)
+    unless stated otherwise.
+    """
+
+    name: str
+    #: files per input dataset: uniform integer range (inclusive).
+    files_per_dataset: tuple[int, int] = (2, 8)
+    #: mean and sigma of per-file size.
+    file_size_mean: float = 3.5e9
+    file_size_sigma: float = 0.8
+    #: mean and sigma of payload walltime.
+    walltime_mean: float = 5400.0
+    walltime_sigma: float = 1.0
+    #: jobs per task: uniform integer range (inclusive).
+    jobs_per_task: tuple[int, int] = (1, 6)
+    #: access-mode mix (must sum to 1).
+    access_mode_mix: Dict[DataAccessMode, float] = field(
+        default_factory=lambda: {
+            DataAccessMode.DIRECT_LOCAL: 0.88,
+            DataAccessMode.COPY_TO_SCRATCH: 0.05,
+            DataAccessMode.DIRECT_IO: 0.07,
+        }
+    )
+    #: probability a job uploads outputs through the transfer system.
+    upload_probability: float = 0.03
+    #: mean output volume per uploading job.
+    output_bytes_mean: float = 1.2e9
+    output_bytes_sigma: float = 0.7
+    #: replicas of each input dataset pre-placed on the grid.
+    initial_replicas: tuple[int, int] = (1, 3)
+
+    def __post_init__(self) -> None:
+        total = sum(self.access_mode_mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"profile {self.name}: access-mode mix sums to {total}, not 1")
+        if self.files_per_dataset[0] < 1 or self.files_per_dataset[0] > self.files_per_dataset[1]:
+            raise ValueError(f"profile {self.name}: bad files_per_dataset range")
+        if self.jobs_per_task[0] < 1 or self.jobs_per_task[0] > self.jobs_per_task[1]:
+            raise ValueError(f"profile {self.name}: bad jobs_per_task range")
+
+
+#: Default user-analysis population.
+ANALYSIS_DEFAULT = WorkloadProfile(name="analysis")
+
+#: Default production population: bigger datasets, longer jobs, every
+#: job uploads (Table 1's Production Upload dwarfs Production Download),
+#: and all reads are direct-local after task-level pre-staging.
+PRODUCTION_DEFAULT = WorkloadProfile(
+    name="production",
+    files_per_dataset=(6, 20),
+    file_size_mean=4.5e9,
+    file_size_sigma=0.6,
+    walltime_mean=10800.0,
+    walltime_sigma=0.8,
+    jobs_per_task=(10, 60),
+    access_mode_mix={
+        DataAccessMode.DIRECT_LOCAL: 1.0,
+        DataAccessMode.COPY_TO_SCRATCH: 0.0,
+        DataAccessMode.DIRECT_IO: 0.0,
+    },
+    upload_probability=1.0,
+    output_bytes_mean=2.5e9,
+    output_bytes_sigma=0.5,
+    initial_replicas=(1, 2),
+)

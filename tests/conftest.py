@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+The expensive fixtures (a completed small campaign and its matching
+report) are session-scoped: integration-level tests across many files
+reuse one simulation instead of re-running it per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.eightday import EightDayConfig, EightDayStudy
+from repro.scenarios.runtime import HarnessConfig, SimulationHarness
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def small_study() -> EightDayStudy:
+    """A 1.5-day campaign, enough for every analysis to have material."""
+    cfg = EightDayConfig(
+        seed=424242,
+        days=1.5,
+        analysis_tasks_per_hour=8.0,
+        production_tasks_per_hour=1.0,
+        background_transfers_per_hour=120.0,
+    )
+    return EightDayStudy(cfg).run()
+
+
+@pytest.fixture(scope="session")
+def small_report(small_study):
+    return small_study.matching_report()
+
+
+@pytest.fixture(scope="session")
+def small_telemetry(small_study):
+    return small_study.telemetry
+
+
+@pytest.fixture()
+def tiny_harness() -> SimulationHarness:
+    """A very small, fast harness for per-test simulations (unrun)."""
+    from repro.grid.presets import build_mini
+
+    cfg = HarnessConfig(
+        seed=7,
+        workload=WorkloadConfig(
+            duration=6 * 3600.0,
+            analysis_tasks_per_hour=3.0,
+            production_tasks_per_hour=0.5,
+            background_transfers_per_hour=20.0,
+        ),
+        drain=6 * 3600.0,
+    )
+    return SimulationHarness(cfg, topology=build_mini(seed=7))

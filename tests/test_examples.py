@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=420,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py", "--days", "0.25", "--seed", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "Table 1" in proc.stdout
+        assert "Matching method" in proc.stdout
+
+    def test_anomaly_hunt(self):
+        proc = run_example("anomaly_hunt.py", "--days", "0.5", "--seed", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "anomaly report" in proc.stdout
+        assert "Mitigation advice" in proc.stdout
+
+    def test_co_optimization_study(self):
+        proc = run_example("co_optimization_study.py", "--days", "0.25", "--seed", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "locality" in proc.stdout and "coopt" in proc.stdout
+
+    def test_matching_quality_sweep(self):
+        proc = run_example("matching_quality_sweep.py", "--days", "0.25", "--seed", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "precision" in proc.stdout
+        # pristine metadata reaches full recall
+        assert "1.000" in proc.stdout
+
+    def test_data_carousel(self):
+        proc = run_example("data_carousel.py", "--hours", "3", "--seed", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "tape recalls" in proc.stdout
+        assert "iDDS" in proc.stdout
+
+    def test_site_operations(self):
+        proc = run_example("site_operations.py", "--days", "0.25", "--seed", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "Site dashboards" in proc.stdout
+        assert "Streaming monitor" in proc.stdout

@@ -1,0 +1,69 @@
+"""Tests for FTS per-activity link shares (background cannot starve
+job-driven staging)."""
+
+import pytest
+
+from repro.rucio.activities import TransferActivity
+
+from tests.test_rucio_fts import Rig
+
+
+class TestActivityShares:
+    def test_background_capped_below_link_capacity(self):
+        rig = Rig(link_capacity=4)
+        rig.fts.job_share = 0.5  # at most 2 concurrent background
+        ds = rig.register_dataset(n_files=6, size=50 * 10**9)
+        for fd in ds.file_dids:
+            rig.fts.submit(rig.request(fd, "BNL-ATLAS_DATADISK",
+                                       activity=TransferActivity.DATA_REBALANCING))
+        # before any completes: only 2 background slots may be active
+        assert rig.topo.network.active_on("CERN-PROD", "BNL-ATLAS") == 2
+        rig.engine.run()
+        assert len(rig.events) == 6
+        assert all(e.success for e in rig.events)
+
+    def test_job_driven_uses_full_capacity(self):
+        rig = Rig(link_capacity=4)
+        rig.fts.job_share = 0.5
+        ds = rig.register_dataset(n_files=6, size=50 * 10**9)
+        reqs = [rig.request(fd, "BNL-ATLAS_SCRATCHDISK",
+                            activity=TransferActivity.ANALYSIS_DOWNLOAD,
+                            pandaid=1, jeditaskid=2)
+                for fd in ds.file_dids]
+        rig.fts.submit_group(reqs, parallelism=6)
+        assert rig.topo.network.active_on("CERN-PROD", "BNL-ATLAS") == 4
+        rig.engine.run()
+        assert len(rig.events) == 6
+
+    def test_job_transfers_overtake_waiting_background(self):
+        """A job-driven transfer submitted later still starts while the
+        background backlog waits for its capped share."""
+        rig = Rig(link_capacity=2)
+        rig.fts.job_share = 0.5  # 1 background slot
+        ds = rig.register_dataset(n_files=4, size=80 * 10**9)
+        # flood with background
+        for fd in ds.file_dids[:3]:
+            rig.fts.submit(rig.request(fd, "BNL-ATLAS_DATADISK",
+                                       activity=TransferActivity.DATA_REBALANCING))
+        # then one job stage-in
+        job_req = rig.request(ds.file_dids[3], "BNL-ATLAS_SCRATCHDISK",
+                              activity=TransferActivity.ANALYSIS_DOWNLOAD,
+                              pandaid=7, jeditaskid=8)
+        rig.fts.submit(job_req)
+        rig.engine.run()
+        by_pandaid = {e.pandaid: e for e in rig.events}
+        job_event = by_pandaid[7]
+        background_events = [e for e in rig.events if e.pandaid == 0]
+        # the job transfer starts before the *last* background one
+        assert job_event.starttime < max(e.starttime for e in background_events)
+
+    def test_full_job_share_serialises_background(self):
+        rig = Rig(link_capacity=8)
+        rig.fts.job_share = 1.0  # background cap = max(1, 0) = 1
+        ds = rig.register_dataset(n_files=3, size=50 * 10**9)
+        for fd in ds.file_dids:
+            rig.fts.submit(rig.request(fd, "BNL-ATLAS_DATADISK",
+                                       activity=TransferActivity.DATA_CONSOLIDATION))
+        assert rig.topo.network.active_on("CERN-PROD", "BNL-ATLAS") == 1
+        rig.engine.run()
+        assert len(rig.events) == 3

@@ -1,0 +1,188 @@
+"""Tests for the grid package: tiers, sites, RSEs, topology, presets."""
+
+import pytest
+
+from repro.grid.presets import WlcgPresetConfig, build_mini, build_wlcg
+from repro.grid.rse import RseKind, StorageElement, rse_name
+from repro.grid.site import Site, UNKNOWN_SITE_NAME, make_unknown_site, sites_by_tier
+from repro.grid.tier import Tier
+from repro.grid.topology import GridTopology
+
+
+class TestTier:
+    def test_ordering(self):
+        assert Tier.T0 < Tier.T1 < Tier.T2 < Tier.T3
+
+    def test_label(self):
+        assert Tier.T1.label == "Tier-1"
+
+    @pytest.mark.parametrize("text,expected", [
+        ("T2", Tier.T2),
+        ("Tier-0", Tier.T0),
+        ("3", Tier.T3),
+        ("tier1", Tier.T1),
+    ])
+    def test_parse(self, text, expected):
+        assert Tier.parse(text) is expected
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Tier.parse("T9")
+
+
+class TestSite:
+    def test_occupancy_lifecycle(self):
+        s = Site("X", Tier.T2, "Asia", compute_slots=2)
+        s.occupy()
+        s.occupy()
+        assert not s.has_free_slot
+        assert s.load == 1.0
+        s.release()
+        assert s.has_free_slot
+
+    def test_occupy_over_capacity_raises(self):
+        s = Site("X", Tier.T2, "Asia", compute_slots=1)
+        s.occupy()
+        with pytest.raises(RuntimeError):
+            s.occupy()
+
+    def test_release_below_zero_raises(self):
+        s = Site("X", Tier.T2, "Asia")
+        with pytest.raises(RuntimeError):
+            s.release()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Site("X", Tier.T2, "Asia", compute_slots=0)
+        with pytest.raises(ValueError):
+            Site("X", Tier.T2, "Asia", parallel_stagein=0)
+        with pytest.raises(ValueError):
+            Site("X", Tier.T2, "Asia", reliability=1.5)
+
+    def test_unknown_site(self):
+        u = make_unknown_site()
+        assert u.is_unknown
+        assert u.name == UNKNOWN_SITE_NAME
+
+    def test_sites_by_tier(self):
+        sites = [Site("A", Tier.T1, "X"), Site("B", Tier.T2, "X"), Site("C", Tier.T1, "X")]
+        grouped = sites_by_tier(sites)
+        assert [s.name for s in grouped[Tier.T1]] == ["A", "C"]
+
+
+class TestStorageElement:
+    def test_allocate_release(self):
+        rse = StorageElement("S_DATADISK", "S", RseKind.DATADISK, capacity_bytes=100.0)
+        rse.allocate(60.0)
+        assert rse.free_bytes == 40.0
+        rse.release(60.0)
+        assert rse.used_bytes == 0.0
+
+    def test_over_capacity_raises(self):
+        rse = StorageElement("S", "S", RseKind.DATADISK, capacity_bytes=10.0)
+        with pytest.raises(RuntimeError):
+            rse.allocate(11.0)
+
+    def test_release_more_than_used_raises(self):
+        rse = StorageElement("S", "S", RseKind.DATADISK, capacity_bytes=10.0)
+        with pytest.raises(RuntimeError):
+            rse.release(1.0)
+
+    def test_negative_amounts_rejected(self):
+        rse = StorageElement("S", "S", RseKind.DATADISK, capacity_bytes=10.0)
+        with pytest.raises(ValueError):
+            rse.allocate(-1.0)
+        with pytest.raises(ValueError):
+            rse.release(-1.0)
+
+    def test_rse_name_convention(self):
+        assert rse_name("CERN-PROD", RseKind.TAPE) == "CERN-PROD_TAPE"
+
+    def test_tape_kind(self):
+        assert RseKind.TAPE.is_tape and not RseKind.DATADISK.is_tape
+
+
+class TestTopology:
+    def test_build_assigns_dense_indices(self):
+        topo = build_mini()
+        indices = sorted(s.index for s in topo.sites.values())
+        assert indices == list(range(topo.n_sites))
+
+    def test_includes_unknown(self):
+        topo = build_mini()
+        assert UNKNOWN_SITE_NAME in topo.sites
+        assert topo.sites[UNKNOWN_SITE_NAME].is_unknown
+
+    def test_unknown_has_no_rses(self):
+        topo = build_mini()
+        assert topo.site_rses(UNKNOWN_SITE_NAME) == []
+
+    def test_tier01_get_tape(self):
+        topo = build_mini()
+        assert any(r.kind is RseKind.TAPE for r in topo.site_rses("CERN-PROD"))
+        t2 = topo.sites_in_tier(Tier.T2)[0]
+        assert all(r.kind is not RseKind.TAPE for r in topo.site_rses(t2.name))
+
+    def test_duplicate_site_rejected(self):
+        sites = [Site("A", Tier.T2, "X"), Site("A", Tier.T2, "X")]
+        with pytest.raises(ValueError):
+            GridTopology.build(sites)
+
+    def test_datadisk_lookup(self):
+        topo = build_mini()
+        assert topo.datadisk("CERN-PROD").kind is RseKind.DATADISK
+
+    def test_real_sites_excludes_unknown(self):
+        topo = build_mini()
+        assert all(not s.is_unknown for s in topo.real_sites())
+
+    def test_site_names_in_index_order(self):
+        topo = build_mini()
+        names = topo.site_names()
+        assert [topo.sites[n].index for n in names] == list(range(len(names)))
+
+    def test_validate_passes(self):
+        build_mini().validate()
+
+
+class TestWlcgPreset:
+    def test_paper_site_count(self):
+        """§3.2: 111 sites recorded transfers (110 real + UNKNOWN)."""
+        topo = build_wlcg(seed=0)
+        assert topo.n_sites == 111
+
+    def test_tier_composition(self):
+        topo = build_wlcg(seed=0)
+        assert len(topo.sites_in_tier(Tier.T0)) == 1
+        assert len(topo.sites_in_tier(Tier.T1)) == 10
+        assert len(topo.sites_in_tier(Tier.T2)) == 60
+        assert len(topo.sites_in_tier(Tier.T3)) == 39
+
+    def test_deterministic_in_seed(self):
+        a = build_wlcg(seed=5)
+        b = build_wlcg(seed=5)
+        assert a.site_names() == b.site_names()
+        assert [s.compute_slots for s in a.real_sites()] == [
+            s.compute_slots for s in b.real_sites()
+        ]
+
+    def test_seed_changes_capacities(self):
+        a = build_wlcg(seed=1)
+        b = build_wlcg(seed=2)
+        assert [s.compute_slots for s in a.real_sites()] != [
+            s.compute_slots for s in b.real_sites()
+        ]
+
+    def test_sequential_sites_exist(self):
+        topo = build_wlcg(seed=0)
+        assert any(s.parallel_stagein == 1 for s in topo.real_sites())
+
+    def test_known_anchor_sites(self):
+        topo = build_wlcg(seed=0)
+        for name in ("CERN-PROD", "BNL-ATLAS", "NDGF-T1"):
+            assert name in topo.sites
+
+    def test_custom_config(self):
+        topo = build_wlcg(WlcgPresetConfig(n_tier2=4, n_tier3=2, seed=1))
+        assert len(topo.sites_in_tier(Tier.T2)) == 4
+        assert topo.n_sites == 1 + 10 + 4 + 2 + 1

@@ -1,0 +1,148 @@
+"""Tests for the network model."""
+
+import pytest
+
+from repro.grid.network import (
+    CONGESTION_BUCKET_SECONDS,
+    NetworkModel,
+)
+from repro.grid.presets import build_mini
+
+
+@pytest.fixture()
+def net():
+    topo = build_mini(seed=1)
+    assert topo.network is not None
+    return topo.network
+
+
+class TestLinkProfiles:
+    def test_local_faster_than_remote(self, net: NetworkModel):
+        local = net.profile("CERN-PROD", "CERN-PROD")
+        remote = net.profile("CERN-PROD", "BNL-ATLAS")
+        assert local.nominal_bandwidth > remote.nominal_bandwidth
+        assert local.is_local and not remote.is_local
+
+    def test_profiles_cached(self, net: NetworkModel):
+        assert net.profile("CERN-PROD", "BNL-ATLAS") is net.profile("CERN-PROD", "BNL-ATLAS")
+
+    def test_directional_asymmetry(self, net: NetworkModel):
+        """Fig 7a/7b: opposite directions have different capacity."""
+        ab = net.profile("BNL-ATLAS", "NDGF-T1").nominal_bandwidth
+        ba = net.profile("NDGF-T1", "BNL-ATLAS").nominal_bandwidth
+        assert ab != ba
+
+    def test_cross_region_slower(self):
+        topo = build_mini(seed=2)
+        net = topo.network
+        # same-region T2s vs cross-region: find a pair of each
+        t2_names = [s.name for s in topo.real_sites() if s.name.startswith("T2")]
+        regions = {n: topo.site(n).region for n in t2_names}
+        # remote latency should be higher cross-region
+        cross = [
+            net.profile(a, b).latency
+            for a in t2_names for b in t2_names
+            if a != b and regions[a] != regions[b]
+        ]
+        same = [
+            net.profile(a, b).latency
+            for a in t2_names for b in t2_names
+            if a != b and regions[a] == regions[b]
+        ]
+        if cross and same:
+            assert min(cross) > max(same) - 1e-9
+
+
+class TestTimeVaryingFactors:
+    def test_diurnal_bounds(self, net: NetworkModel):
+        prof = net.profile("CERN-PROD", "BNL-ATLAS")
+        for h in range(0, 24):
+            f = net.diurnal_factor(prof, h * 3600.0)
+            assert 1.0 - prof.diurnal_amplitude - 1e-9 <= f <= 1.0 + 1e-9
+
+    def test_congestion_deterministic_per_bucket(self, net: NetworkModel):
+        prof = net.profile("CERN-PROD", "BNL-ATLAS")
+        t = 1000.0
+        assert net.congestion_factor(prof, t) == net.congestion_factor(prof, t + 1.0)
+
+    def test_congestion_varies_across_buckets(self, net: NetworkModel):
+        prof = net.profile("CERN-PROD", "BNL-ATLAS")
+        factors = {
+            net.congestion_factor(prof, k * CONGESTION_BUCKET_SECONDS) for k in range(50)
+        }
+        assert len(factors) > 10
+
+    def test_congestion_never_exceeds_one(self, net: NetworkModel):
+        prof = net.profile("CERN-PROD", "CERN-PROD")
+        assert all(
+            net.congestion_factor(prof, k * CONGESTION_BUCKET_SECONDS) <= 1.0
+            for k in range(200)
+        )
+
+    def test_deep_drops_occur(self, net: NetworkModel):
+        """Fig 8's intermittent dips: some buckets collapse below 20%."""
+        prof = net.profile("CERN-PROD", "CERN-PROD")
+        factors = [
+            net.congestion_factor(prof, k * CONGESTION_BUCKET_SECONDS) for k in range(500)
+        ]
+        assert any(f <= 0.20 for f in factors)
+
+
+class TestEffectiveBandwidth:
+    def test_share_divides(self, net: NetworkModel):
+        one = net.effective_bandwidth("CERN-PROD", "BNL-ATLAS", 0.0, share=1)
+        four = net.effective_bandwidth("CERN-PROD", "BNL-ATLAS", 0.0, share=4)
+        assert one == pytest.approx(4 * four) or four == 64_000.0
+
+    def test_floor(self, net: NetworkModel):
+        bw = net.effective_bandwidth("CERN-PROD", "BNL-ATLAS", 0.0, share=10**9)
+        assert bw == 64_000.0
+
+    def test_unknown_site_gets_default(self, net: NetworkModel):
+        assert net.effective_bandwidth("UNKNOWN", "CERN-PROD", 0.0) > 0
+
+
+class TestActiveAccounting:
+    def test_acquire_release(self, net: NetworkModel):
+        assert net.active_on("A", "B") == 0
+        net.acquire("A", "B")
+        net.acquire("A", "B")
+        assert net.active_on("A", "B") == 2
+        net.release("A", "B")
+        net.release("A", "B")
+        assert net.active_on("A", "B") == 0
+
+    def test_release_without_acquire_raises(self, net: NetworkModel):
+        with pytest.raises(RuntimeError):
+            net.release("X", "Y")
+
+
+class TestTransferDuration:
+    def test_positive_and_monotone_in_size(self, net: NetworkModel):
+        d1 = net.transfer_duration("CERN-PROD", "BNL-ATLAS", 1e9, 0.0)
+        d2 = net.transfer_duration("CERN-PROD", "BNL-ATLAS", 10e9, 0.0)
+        assert 0 < d1 < d2
+
+    def test_zero_bytes_is_latency_only(self, net: NetworkModel):
+        d = net.transfer_duration("CERN-PROD", "BNL-ATLAS", 0.0, 0.0)
+        prof = net.profile("CERN-PROD", "BNL-ATLAS")
+        assert d == pytest.approx(prof.latency)
+
+    def test_negative_size_rejected(self, net: NetworkModel):
+        with pytest.raises(ValueError):
+            net.transfer_duration("CERN-PROD", "BNL-ATLAS", -1.0, 0.0)
+
+    def test_share_slows_transfer(self, net: NetworkModel):
+        base = net.transfer_duration("CERN-PROD", "BNL-ATLAS", 5e9, 0.0)
+        net.acquire("CERN-PROD", "BNL-ATLAS")
+        net.acquire("CERN-PROD", "BNL-ATLAS")
+        shared = net.transfer_duration("CERN-PROD", "BNL-ATLAS", 5e9, 0.0)
+        net.release("CERN-PROD", "BNL-ATLAS")
+        net.release("CERN-PROD", "BNL-ATLAS")
+        assert shared > base
+
+    def test_straddles_congestion_buckets(self, net: NetworkModel):
+        """A big transfer crosses buckets; duration reflects integration,
+        not a single-bucket rate."""
+        d = net.transfer_duration("CERN-PROD", "BNL-ATLAS", 500e9, 0.0)
+        assert d > CONGESTION_BUCKET_SECONDS

@@ -1,0 +1,173 @@
+"""Tests for iDDS-style fine-grained delivery and production data-wait."""
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.grid.presets import build_mini
+from repro.grid.rse import RseKind, rse_name
+from repro.idds.delivery import DeliveryPlan, DeliveryService
+from repro.ids import IdFactory
+from repro.rucio.catalog import DidCatalog
+from repro.rucio.did import DID, FileDid
+from repro.rucio.replica import ReplicaRegistry
+from repro.sim.engine import Engine
+
+
+class Rig:
+    def __init__(self, seed: int = 1):
+        self.engine = Engine()
+        self.topo = build_mini(seed=seed)
+        self.ids = IdFactory()
+        self.catalog = DidCatalog()
+        self.replicas = ReplicaRegistry(self.topo)
+        self.delivery = DeliveryService(self.engine, self.replicas, poll_interval=60.0)
+
+    def files(self, n: int, site: str = "") -> List[FileDid]:
+        out = []
+        for _ in range(n):
+            f = FileDid(did=DID("mc", self.ids.make_lfn("mc")), size=100)
+            self.catalog.register_file(f)
+            if site:
+                self.replicas.add(f.did, rse_name(site, RseKind.DATADISK), 100)
+            out.append(f)
+        return out
+
+
+class TestDeliveryService:
+    def test_available_chunks_release_immediately(self):
+        rig = Rig()
+        chunks = [rig.files(2, site="BNL-ATLAS"), rig.files(2, site="BNL-ATLAS")]
+        released = []
+        rig.delivery.submit(DeliveryPlan(
+            jeditaskid=1, site="BNL-ATLAS", chunks=chunks,
+            on_chunk_ready=lambda i, c: released.append(i)))
+        rig.engine.run(until=1.0)
+        assert sorted(released) == [0, 1]
+        assert rig.delivery.active_tasks() == []
+
+    def test_chunk_released_when_data_lands(self):
+        rig = Rig()
+        ready = rig.files(1, site="BNL-ATLAS")
+        pending = rig.files(1)  # nowhere yet
+        released = []
+        rig.delivery.submit(DeliveryPlan(
+            jeditaskid=1, site="BNL-ATLAS", chunks=[ready, pending],
+            on_chunk_ready=lambda i, c: released.append((rig.engine.now, i))))
+        # land the pending file at t=500
+        rig.engine.schedule_at(500.0, lambda: rig.replicas.add(
+            pending[0].did, "BNL-ATLAS_DATADISK", 100))
+        rig.engine.run(until=1000.0)
+        times = dict((i, t) for t, i in released)
+        assert 0 in times and times[0] < 100.0
+        assert 1 in times and times[1] >= 500.0
+
+    def test_release_order_follows_data_not_submission(self):
+        rig = Rig()
+        late = rig.files(1)
+        early = rig.files(1)
+        released = []
+        rig.delivery.submit(DeliveryPlan(
+            jeditaskid=1, site="BNL-ATLAS", chunks=[late, early],
+            on_chunk_ready=lambda i, c: released.append(i)))
+        rig.engine.schedule_at(100.0, lambda: rig.replicas.add(
+            early[0].did, "BNL-ATLAS_DATADISK", 100))
+        rig.engine.schedule_at(900.0, lambda: rig.replicas.add(
+            late[0].did, "BNL-ATLAS_DATADISK", 100))
+        rig.engine.run(until=2000.0)
+        assert released == [1, 0]
+
+    def test_give_up_releases_stragglers(self):
+        rig = Rig()
+        rig.delivery.give_up_after = 1000.0
+        stuck = rig.files(1)  # never lands
+        released = []
+        rig.delivery.submit(DeliveryPlan(
+            jeditaskid=1, site="BNL-ATLAS", chunks=[stuck],
+            on_chunk_ready=lambda i, c: released.append(i)))
+        rig.engine.run(until=5000.0)
+        assert released == [0]
+        assert rig.delivery.n_abandoned == 1
+        assert rig.delivery.active_tasks() == []
+
+    def test_duplicate_plan_rejected(self):
+        rig = Rig()
+        # First plan stays pending (its file never lands anywhere).
+        plan = DeliveryPlan(jeditaskid=1, site="BNL-ATLAS",
+                            chunks=[rig.files(1)],
+                            on_chunk_ready=lambda i, c: None)
+        rig.delivery.submit(plan)
+        with pytest.raises(ValueError):
+            rig.delivery.submit(DeliveryPlan(
+                jeditaskid=1, site="BNL-ATLAS",
+                chunks=[rig.files(1)], on_chunk_ready=lambda i, c: None))
+
+    def test_empty_plan_rejected(self):
+        rig = Rig()
+        with pytest.raises(ValueError):
+            rig.delivery.submit(DeliveryPlan(
+                jeditaskid=1, site="BNL-ATLAS", chunks=[],
+                on_chunk_ready=lambda i, c: None))
+
+
+class TestIddsCampaign:
+    """End-to-end: a harness with use_idds=True runs production via delivery."""
+
+    def _harness(self, use_idds: bool):
+        from repro.grid.presets import build_mini
+        from repro.scenarios.runtime import HarnessConfig, SimulationHarness
+        from repro.workload.generator import WorkloadConfig
+
+        cfg = HarnessConfig(
+            seed=5,
+            workload=WorkloadConfig(
+                duration=12 * 3600.0,
+                analysis_tasks_per_hour=1.0,
+                production_tasks_per_hour=1.5,
+                background_transfers_per_hour=5.0,
+                production_tape_fraction=1.0,
+                use_idds=use_idds,
+            ),
+            drain=36 * 3600.0,
+        )
+        return SimulationHarness(cfg, topology=build_mini(seed=5))
+
+    def test_idds_campaign_completes_production(self):
+        h = self._harness(use_idds=True).run()
+        from repro.panda.job import JobKind
+        prod = [j for j in h.collector.completed_jobs if j.kind is JobKind.PRODUCTION]
+        assert prod, "production jobs must complete under iDDS delivery"
+        assert h.delivery.n_released_total > 0
+
+    def test_fixed_lead_campaign_also_completes(self):
+        h = self._harness(use_idds=False).run()
+        from repro.panda.job import JobKind
+        prod = [j for j in h.collector.completed_jobs if j.kind is JobKind.PRODUCTION]
+        assert prod
+        assert h.delivery.n_released_total == 0
+
+    def test_idds_improves_task_makespan(self):
+        """The §6 iDDS claim: fine-grained delivery trims long tails.
+
+        The comparable end-to-end quantity is the task *makespan*
+        (task registration → last job completion): the fixed staging
+        lead delays every job by hours even when its chunk is already
+        on disk, while delivery releases it immediately.
+        """
+        import numpy as np
+        from repro.panda.job import JobKind
+
+        def mean_makespan(h):
+            spans = []
+            for task in h.panda.tasks.values():
+                if task.kind is not JobKind.PRODUCTION or not task.jobs:
+                    continue
+                ends = [j.end_time for j in task.jobs if j.end_time is not None]
+                if ends:
+                    spans.append(max(ends) - task.created_at)
+            return float(np.mean(spans)) if spans else 0.0
+
+        fixed = mean_makespan(self._harness(use_idds=False).run())
+        idds = mean_makespan(self._harness(use_idds=True).run())
+        assert idds <= fixed

@@ -1,0 +1,106 @@
+"""Tests for repro.ids and repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.ids import IdFactory, Sequence, PANDAID_BASE
+from repro.rng import RngRegistry, bounded, lognormal_with_mean
+
+
+class TestSequence:
+    def test_monotone(self):
+        s = Sequence(5)
+        assert [s.next() for _ in range(3)] == [5, 6, 7]
+
+    def test_reset(self):
+        s = Sequence(10)
+        s.next()
+        s.reset()
+        assert s.next() == 10
+
+
+class TestIdFactory:
+    def test_pandaid_base(self):
+        f = IdFactory()
+        assert f.next_pandaid() == PANDAID_BASE
+
+    def test_independent_sequences(self):
+        f = IdFactory()
+        a = f.next_pandaid()
+        b = f.next_jeditaskid()
+        assert a != b
+        assert f.next_pandaid() == a + 1
+
+    def test_two_factories_identical(self):
+        a, b = IdFactory(), IdFactory()
+        assert [a.next_transferid() for _ in range(5)] == [
+            b.next_transferid() for _ in range(5)
+        ]
+
+    def test_lfn_format(self):
+        f = IdFactory()
+        lfn = f.make_lfn("user.alice")
+        assert lfn.startswith("user.alice.")
+        assert lfn.endswith(".root")
+
+    def test_lfns_unique(self):
+        f = IdFactory()
+        lfns = {f.make_lfn("s") for _ in range(100)}
+        assert len(lfns) == 100
+
+    def test_dataset_name_contains_taskid(self):
+        f = IdFactory()
+        assert "43001234" in f.make_dataset_name("mc", 43001234)
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream(self):
+        r = RngRegistry(1)
+        assert r.get("a") is r.get("a")
+
+    def test_different_names_different_draws(self):
+        r = RngRegistry(1)
+        assert r.get("a").random() != r.get("b").random()
+
+    def test_reproducible_across_registries(self):
+        x = RngRegistry(9).get("net").random(5)
+        y = RngRegistry(9).get("net").random(5)
+        assert np.allclose(x, y)
+
+    def test_order_independent(self):
+        r1 = RngRegistry(3)
+        r1.get("first")
+        a = r1.get("probe").random()
+        r2 = RngRegistry(3)
+        b = r2.get("probe").random()
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = RngRegistry(1).get("x").random()
+        b = RngRegistry(2).get("x").random()
+        assert a != b
+
+
+class TestLognormalWithMean:
+    def test_mean_hit(self):
+        rng = np.random.default_rng(0)
+        xs = lognormal_with_mean(rng, 100.0, 0.5, size=200_000)
+        assert np.mean(xs) == pytest.approx(100.0, rel=0.02)
+
+    def test_positive(self):
+        rng = np.random.default_rng(0)
+        assert np.all(lognormal_with_mean(rng, 5.0, 2.0, size=1000) > 0)
+
+    def test_rejects_nonpositive_mean(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            lognormal_with_mean(rng, 0.0, 1.0)
+
+
+class TestBounded:
+    def test_inside(self):
+        assert bounded(5, 0, 10) == 5
+
+    def test_clamps(self):
+        assert bounded(-1, 0, 10) == 0
+        assert bounded(99, 0, 10) == 10

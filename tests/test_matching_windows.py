@@ -1,0 +1,85 @@
+"""Tests for the window-sensitivity analysis (§4.2)."""
+
+import pytest
+
+from repro.core.matching.pipeline import MatchingPipeline
+from repro.core.matching.windows import (
+    growing_window_curve,
+    saturation_ratio,
+    sliding_window_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_study):
+    return MatchingPipeline(
+        small_study.source, known_sites=small_study.harness.known_site_names())
+
+
+@pytest.fixture(scope="module")
+def window(small_study):
+    return small_study.harness.window
+
+
+class TestGrowingWindow:
+    def test_curve_shape(self, pipeline, window):
+        t0, t1 = window
+        curve = growing_window_curve(pipeline, t0, t1, n_points=4)
+        assert len(curve) == 4
+        assert curve[-1].t1 == pytest.approx(t1)
+        lengths = [p.length for p in curve]
+        assert lengths == sorted(lengths)
+
+    def test_job_population_monotone(self, pipeline, window):
+        """Longer windows see at least as many completed jobs (§4.2:
+        only jobs completed inside the interval are reported)."""
+        t0, t1 = window
+        curve = growing_window_curve(pipeline, t0, t1, n_points=5)
+        jobs = [p.n_jobs for p in curve]
+        assert jobs == sorted(jobs)
+
+    def test_matches_monotone(self, pipeline, window):
+        t0, t1 = window
+        curve = growing_window_curve(pipeline, t0, t1, n_points=5)
+        matched = [p.n_matched_jobs for p in curve]
+        assert matched == sorted(matched)
+
+    def test_short_windows_lose_coverage(self, pipeline, window):
+        """The §4.2 sizing rule: half-length windows undershoot."""
+        t0, t1 = window
+        curve = growing_window_curve(pipeline, t0, t1, n_points=6)
+        assert saturation_ratio(curve) < 1.0
+
+    def test_rejects_too_few_points(self, pipeline, window):
+        t0, t1 = window
+        with pytest.raises(ValueError):
+            growing_window_curve(pipeline, t0, t1, n_points=1)
+
+
+class TestSlidingWindow:
+    def test_windows_tile_the_range(self, pipeline, window):
+        t0, t1 = window
+        length = (t1 - t0) / 4
+        curve = sliding_window_curve(pipeline, t0, t1, length)
+        assert len(curve) == 4
+        assert all(p.length == pytest.approx(length) for p in curve)
+
+    def test_sliding_total_below_full_window(self, pipeline, window):
+        """Tiling the range with disjoint windows matches fewer jobs
+        than one full-length query: boundary pairs are lost."""
+        t0, t1 = window
+        tiles = sliding_window_curve(pipeline, t0, t1, (t1 - t0) / 4)
+        tiled_total = sum(p.n_matched_jobs for p in tiles)
+        full = growing_window_curve(pipeline, t0, t1, n_points=2)[-1]
+        assert tiled_total <= full.n_matched_jobs
+
+    def test_rejects_bad_length(self, pipeline, window):
+        t0, t1 = window
+        with pytest.raises(ValueError):
+            sliding_window_curve(pipeline, t0, t1, 0.0)
+
+    def test_overlapping_step(self, pipeline, window):
+        t0, t1 = window
+        length = (t1 - t0) / 2
+        curve = sliding_window_curve(pipeline, t0, t1, length, step=length / 2)
+        assert len(curve) == 3

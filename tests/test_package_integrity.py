@@ -1,0 +1,46 @@
+"""Package-integrity checks: every subpackage imports, every __all__
+entry resolves, and every public module carries a docstring."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    m.name
+    for m in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    # __main__ runs the CLI (and exits) on import, by design
+    if m.name != "repro.__main__"
+)
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_imports(module_name):
+    module = importlib.import_module(module_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_all_entries_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring")
+
+
+def test_top_level_exports():
+    assert repro.__version__
+    from repro import EightDayConfig, EightDayStudy, HarnessConfig, SimulationHarness
+    assert all(x is not None for x in
+               (EightDayConfig, EightDayStudy, HarnessConfig, SimulationHarness))

@@ -1,0 +1,193 @@
+"""Tests for jobs, tasks, errors, and the global queue."""
+
+import numpy as np
+import pytest
+
+from repro.grid.site import Site
+from repro.grid.tier import Tier
+from repro.panda.errors import (
+    ERROR_MESSAGES,
+    ErrorCode,
+    FailureModel,
+    PAYLOAD_ERROR_WEIGHTS,
+    PandaError,
+)
+from repro.panda.job import DataAccessMode, Job, JobKind, JobStatus
+from repro.panda.queue import GlobalQueue
+from repro.panda.task import JediTask, TaskStatus
+from repro.rucio.did import DID
+
+
+def make_job(pandaid=1, taskid=10, priority=1000, creation=0.0) -> Job:
+    return Job(
+        pandaid=pandaid,
+        jeditaskid=taskid,
+        kind=JobKind.ANALYSIS,
+        access_mode=DataAccessMode.DIRECT_LOCAL,
+        input_dataset=DID("s", "ds"),
+        input_file_dids=[],
+        ninputfilebytes=100,
+        noutputfilebytes=0,
+        creation_time=creation,
+        priority=priority,
+    )
+
+
+class TestJobLifecycle:
+    def test_legal_happy_path(self):
+        j = make_job()
+        for st in (JobStatus.ASSIGNED, JobStatus.READY, JobStatus.RUNNING, JobStatus.FINISHED):
+            j.transition(st)
+        assert j.succeeded and j.status.is_terminal
+
+    def test_illegal_transition_rejected(self):
+        j = make_job()
+        with pytest.raises(RuntimeError):
+            j.transition(JobStatus.RUNNING)
+
+    def test_terminal_is_frozen(self):
+        j = make_job()
+        j.transition(JobStatus.ASSIGNED)
+        j.transition(JobStatus.FAILED)
+        with pytest.raises(RuntimeError):
+            j.transition(JobStatus.READY)
+
+    def test_time_semantics(self):
+        """§4.2: queuing = creation->start, wall = start->end."""
+        j = make_job(creation=100.0)
+        assert j.queuing_time is None and j.lifetime is None
+        j.start_time = 400.0
+        j.end_time = 1000.0
+        assert j.queuing_time == 300.0
+        assert j.wall_time == 600.0
+        assert j.lifetime == 900.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(
+                pandaid=1, jeditaskid=1, kind=JobKind.ANALYSIS,
+                access_mode=DataAccessMode.DIRECT_LOCAL, input_dataset=None,
+                input_file_dids=[], ninputfilebytes=-1, noutputfilebytes=0,
+                creation_time=0.0,
+            )
+
+
+class TestJediTask:
+    def _task(self) -> JediTask:
+        return JediTask(
+            jeditaskid=10, kind=JobKind.ANALYSIS, scope="user.x",
+            access_mode=DataAccessMode.DIRECT_LOCAL,
+        )
+
+    def _finish(self, job: Job, ok: bool) -> None:
+        job.transition(JobStatus.ASSIGNED)
+        job.transition(JobStatus.READY)
+        job.transition(JobStatus.RUNNING)
+        job.transition(JobStatus.FINISHED if ok else JobStatus.FAILED)
+
+    def test_running_until_all_terminal(self):
+        t = self._task()
+        j = make_job(taskid=10)
+        t.add_job(j)
+        assert t.status() is TaskStatus.RUNNING
+
+    def test_finished_when_mostly_ok(self):
+        t = self._task()
+        jobs = [make_job(pandaid=i, taskid=10) for i in range(4)]
+        for i, j in enumerate(jobs):
+            t.add_job(j)
+            self._finish(j, ok=(i != 0))
+        assert t.status() is TaskStatus.FINISHED
+        assert t.failed_fraction() == 0.25
+
+    def test_failed_when_majority_fails(self):
+        t = self._task()
+        jobs = [make_job(pandaid=i, taskid=10) for i in range(4)]
+        for i, j in enumerate(jobs):
+            t.add_job(j)
+            self._finish(j, ok=(i == 0))
+        assert t.status() is TaskStatus.FAILED
+
+    def test_rejects_foreign_job(self):
+        t = self._task()
+        with pytest.raises(ValueError):
+            t.add_job(make_job(taskid=99))
+
+    def test_empty_task_running(self):
+        assert self._task().status() is TaskStatus.RUNNING
+        assert self._task().failed_fraction() is None
+
+
+class TestGlobalQueue:
+    def test_priority_order(self):
+        q = GlobalQueue()
+        low = make_job(pandaid=1, priority=10)
+        high = make_job(pandaid=2, priority=100)
+        q.push(low)
+        q.push(high)
+        assert q.pop() is high
+
+    def test_fifo_within_priority(self):
+        q = GlobalQueue()
+        a = make_job(pandaid=1, creation=0.0)
+        b = make_job(pandaid=2, creation=1.0)
+        q.push(b)
+        q.push(a)
+        assert q.pop() is a
+
+    def test_empty_pop(self):
+        assert GlobalQueue().pop() is None
+
+    def test_rejects_non_defined(self):
+        q = GlobalQueue()
+        j = make_job()
+        j.transition(JobStatus.ASSIGNED)
+        with pytest.raises(ValueError):
+            q.push(j)
+
+    def test_drain(self):
+        q = GlobalQueue()
+        for i in range(5):
+            q.push(make_job(pandaid=i, creation=float(i)))
+        assert len(q.drain(3)) == 3
+        assert len(q) == 2
+        assert len(q.drain()) == 2
+
+
+class TestFailureModel:
+    def test_probability_monotone_in_staging(self):
+        fm = FailureModel()
+        site = Site("X", Tier.T2, "Asia", reliability=0.97)
+        p0 = fm.payload_failure_probability(site, 0.0)
+        p1 = fm.payload_failure_probability(site, 1.0)
+        assert p0 < p1 <= fm.max_failure_rate
+
+    def test_reliability_matters(self):
+        fm = FailureModel()
+        good = Site("G", Tier.T2, "Asia", reliability=0.99)
+        bad = Site("B", Tier.T2, "Asia", reliability=0.85)
+        assert fm.payload_failure_probability(bad, 0.0) > fm.payload_failure_probability(good, 0.0)
+
+    def test_draw_outcome_distribution(self):
+        fm = FailureModel(base_failure_rate=0.5, staging_coupling=0.0)
+        site = Site("X", Tier.T2, "Asia", reliability=1.0)
+        rng = np.random.default_rng(0)
+        outcomes = [fm.draw_payload_outcome(rng, site, 0.0) for _ in range(2000)]
+        failures = [o for o in outcomes if o.code is not ErrorCode.NONE]
+        assert 0.4 < len(failures) / 2000 < 0.6
+        assert all(o.code in PAYLOAD_ERROR_WEIGHTS for o in failures)
+
+    def test_error_messages_defined(self):
+        for code in ErrorCode:
+            assert code in ERROR_MESSAGES
+
+    def test_overlay_error_text(self):
+        """Fig 11's error 1305."""
+        err = PandaError.of(ErrorCode.PAYLOAD_OVERLAY)
+        assert err.code == 1305
+        assert err.message == "Non-zero return code from Overlay (1)"
+
+    def test_clipping(self):
+        fm = FailureModel(base_failure_rate=0.9, staging_coupling=1.0)
+        site = Site("X", Tier.T2, "Asia", reliability=0.85)
+        assert fm.payload_failure_probability(site, 1.0) == fm.max_failure_rate

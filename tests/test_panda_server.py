@@ -1,0 +1,247 @@
+"""Tests for brokerage, harvester mechanics, and the PanDA server,
+driven on the mini topology with a real Rucio stack."""
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.grid.presets import build_mini
+from repro.grid.rse import RseKind, rse_name
+from repro.ids import IdFactory
+from repro.panda.brokerage import DataLocalityBroker
+from repro.panda.errors import FailureModel
+from repro.panda.harvester import interval_union_length
+from repro.panda.job import DataAccessMode, Job, JobKind, JobStatus
+from repro.panda.server import PandaServer
+from repro.panda.task import JediTask
+from repro.rucio.catalog import DidCatalog
+from repro.rucio.client import RucioClient
+from repro.rucio.did import DID, DatasetDid, FileDid
+from repro.rucio.fts import TransferService
+from repro.rucio.replica import ReplicaRegistry
+from repro.rucio.rules import RuleEngine
+from repro.sim.engine import Engine
+
+
+class Stack:
+    def __init__(self, seed: int = 1, failure_rate: float = 0.0,
+                 base_failure_rate: float = 0.0):
+        self.engine = Engine()
+        self.topo = build_mini(seed=seed)
+        self.ids = IdFactory()
+        self.catalog = DidCatalog()
+        self.replicas = ReplicaRegistry(self.topo)
+        self.events = []
+        self.fts = TransferService(
+            self.engine, self.topo, self.replicas, self.ids,
+            self.events.append, np.random.default_rng(seed), failure_rate=failure_rate,
+        )
+        self.rules = RuleEngine(self.topo, self.catalog, self.replicas, self.fts, self.ids)
+        self.rucio = RucioClient(self.topo, self.catalog, self.replicas, self.fts,
+                                 self.rules, self.ids)
+        self.broker = DataLocalityBroker(self.topo, self.rucio, np.random.default_rng(seed))
+        self.panda = PandaServer(
+            self.engine, self.topo, self.rucio, self.broker,
+            np.random.default_rng(seed),
+            failure_model=FailureModel(base_failure_rate=base_failure_rate,
+                                       staging_coupling=0.0),
+        )
+        self.done: List[Job] = []
+        self.panda.on_job_done(self.done.append)
+
+    def dataset_at(self, site: str, n_files: int = 2, size: int = 10**9,
+                   taskid: int = 100) -> DatasetDid:
+        ds = DatasetDid(did=DID("user.t", f"ds{taskid}"), jeditaskid=taskid)
+        for i in range(n_files):
+            f = FileDid(did=DID("user.t", f"f{taskid}_{i}"), size=size,
+                        dataset_name=ds.did.name, proddblock=ds.did.name)
+            self.catalog.register_file(f)
+            ds.file_dids.append(f.did)
+            self.replicas.add(f.did, rse_name(site, RseKind.DATADISK), size)
+        self.catalog.register_dataset(ds)
+        return ds
+
+    def job(self, ds: DatasetDid, mode=DataAccessMode.COPY_TO_SCRATCH,
+            taskid: int = 100, uploads: bool = False, nout: int = 0) -> Job:
+        files = self.catalog.dataset_files(ds.did)
+        return Job(
+            pandaid=self.ids.next_pandaid(),
+            jeditaskid=taskid,
+            kind=JobKind.ANALYSIS,
+            access_mode=mode,
+            input_dataset=ds.did,
+            input_file_dids=[f.did for f in files],
+            ninputfilebytes=sum(f.size for f in files),
+            noutputfilebytes=nout,
+            creation_time=self.engine.now,
+            payload_walltime=600.0,
+            uploads_output=uploads,
+        )
+
+
+class TestDataLocalityBroker:
+    def test_prefers_data_holding_site(self):
+        st = Stack()
+        st.broker.locality_bias = 1.0
+        ds = st.dataset_at("BNL-ATLAS")
+        d = st.broker.assign(st.job(ds), 0.0)
+        assert d.site_name == "BNL-ATLAS"
+        assert d.data_local and d.locality_fraction == 1.0
+
+    def test_partial_data_best_fraction(self):
+        st = Stack()
+        st.broker.locality_bias = 1.0
+        ds = st.dataset_at("BNL-ATLAS", n_files=4)
+        # strip two files from BNL so nowhere holds everything
+        for fd in ds.file_dids[:2]:
+            st.replicas.remove(fd, "BNL-ATLAS_DATADISK")
+            st.replicas.add(fd, "NDGF-T1_DATADISK", 10**9)
+        d = st.broker.assign(st.job(ds), 0.0)
+        assert d.reason == "partial-data"
+        assert d.site_name in ("BNL-ATLAS", "NDGF-T1")
+        assert 0 < d.locality_fraction < 1
+
+    def test_no_input_random_site(self):
+        st = Stack()
+        job = st.job(st.dataset_at("CERN-PROD"))
+        job.input_dataset = None
+        d = st.broker.assign(job, 0.0)
+        assert d.reason == "no-input"
+        assert d.site_name in st.topo.sites
+
+    def test_override_possible(self):
+        st = Stack(seed=2)
+        st.broker.locality_bias = 0.0  # always override
+        ds = st.dataset_at("BNL-ATLAS")
+        d = st.broker.assign(st.job(ds), 0.0)
+        assert d.reason == "override"
+
+
+class TestIntervalUnion:
+    def test_disjoint(self):
+        assert interval_union_length([(0, 10), (20, 30)], 0, 100) == 20
+
+    def test_overlapping_merged(self):
+        assert interval_union_length([(0, 10), (5, 15)], 0, 100) == 15
+
+    def test_clipping(self):
+        assert interval_union_length([(0, 100)], 10, 30) == 20
+
+    def test_empty_window(self):
+        assert interval_union_length([(0, 10)], 5, 5) == 0
+
+    def test_outside_window(self):
+        assert interval_union_length([(50, 60)], 0, 10) == 0
+
+    def test_nested(self):
+        assert interval_union_length([(0, 30), (5, 10)], 0, 100) == 30
+
+
+class TestEndToEndJob:
+    def _submit_and_run(self, st: Stack, job: Job, until: float = 7 * 86400.0):
+        task = JediTask(jeditaskid=job.jeditaskid, kind=job.kind, scope="user.t",
+                        access_mode=job.access_mode, input_dataset=job.input_dataset)
+        if job.jeditaskid not in st.panda.tasks:
+            st.panda.register_task(task)
+        st.panda.submit(job)
+        st.engine.run(until=until)
+
+    def test_copy_job_completes_with_local_transfers(self):
+        st = Stack()
+        st.broker.locality_bias = 1.0
+        ds = st.dataset_at("BNL-ATLAS", n_files=3)
+        job = st.job(ds)
+        self._submit_and_run(st, job)
+        assert job.status is JobStatus.FINISHED
+        assert job.computing_site == "BNL-ATLAS"
+        assert len(job.true_transfer_ids) >= 3
+        downloads = [e for e in st.events if e.pandaid == job.pandaid and e.is_download]
+        assert all(e.is_local for e in downloads)
+        # stage-in happened during the queuing phase
+        assert all(e.starttime < job.start_time for e in downloads)
+        assert job.stagein_busy_seconds > 0
+
+    def test_direct_local_job_produces_no_transfers(self):
+        st = Stack()
+        ds = st.dataset_at("BNL-ATLAS")
+        job = st.job(ds, mode=DataAccessMode.DIRECT_LOCAL)
+        self._submit_and_run(st, job)
+        assert job.status is JobStatus.FINISHED
+        assert job.true_transfer_ids == []
+
+    def test_direct_io_overlaps_execution(self):
+        st = Stack()
+        st.broker.locality_bias = 1.0
+        ds = st.dataset_at("BNL-ATLAS", n_files=2, size=5 * 10**9)
+        job = st.job(ds, mode=DataAccessMode.DIRECT_IO)
+        self._submit_and_run(st, job)
+        assert job.status is JobStatus.FINISHED
+        streams = [e for e in st.events if e.pandaid == job.pandaid]
+        assert streams
+        assert all(e.starttime >= job.start_time for e in streams)
+
+    def test_upload_job_emits_upload_events(self):
+        st = Stack()
+        ds = st.dataset_at("BNL-ATLAS")
+        job = st.job(ds, mode=DataAccessMode.DIRECT_LOCAL, uploads=True, nout=10**9)
+        self._submit_and_run(st, job)
+        ups = [e for e in st.events if e.pandaid == job.pandaid and e.is_upload]
+        assert ups
+        assert sum(e.file_size for e in ups) == job.noutputfilebytes
+        assert all(e.source_site == job.computing_site for e in ups)
+        # uploads start during wall time, before the recorded end
+        assert all(job.start_time <= e.starttime < job.end_time for e in ups)
+
+    def test_failed_payload_reports_error(self):
+        st = Stack(base_failure_rate=1.0)
+        ds = st.dataset_at("BNL-ATLAS")
+        job = st.job(ds, mode=DataAccessMode.DIRECT_LOCAL)
+        self._submit_and_run(st, job)
+        assert job.status is JobStatus.FAILED
+        assert job.error_code != 0 and job.error_message
+
+    def test_stagein_failure_fails_job_before_start(self):
+        st = Stack(failure_rate=1.0)  # every transfer fails
+        ds = st.dataset_at("BNL-ATLAS")
+        job = st.job(ds)
+        self._submit_and_run(st, job)
+        assert job.status is JobStatus.FAILED
+        assert job.error_code == 1099
+        assert job.wall_time == 0.0
+
+    def test_slot_contention_serialises_jobs(self):
+        st = Stack()
+        st.broker.locality_bias = 1.0
+        site = st.topo.site("BNL-ATLAS")
+        site.compute_slots = 1
+        ds = st.dataset_at("BNL-ATLAS")
+        j1, j2 = st.job(ds), st.job(ds)
+        self._submit_and_run(st, j1, until=0.0)
+        st.panda.submit(j2)
+        st.engine.run(until=7 * 86400.0)
+        assert j1.status.is_terminal and j2.status.is_terminal
+        spans = sorted([(j1.start_time, j1.end_time), (j2.start_time, j2.end_time)])
+        assert spans[1][0] >= spans[0][1] - 1e-6
+
+    def test_callbacks_fired_once_per_job(self):
+        st = Stack()
+        ds = st.dataset_at("BNL-ATLAS")
+        job = st.job(ds, mode=DataAccessMode.DIRECT_LOCAL)
+        self._submit_and_run(st, job)
+        assert st.done == [job]
+
+    def test_duplicate_submit_rejected(self):
+        st = Stack()
+        ds = st.dataset_at("BNL-ATLAS")
+        job = st.job(ds, mode=DataAccessMode.DIRECT_LOCAL)
+        self._submit_and_run(st, job)
+        with pytest.raises(ValueError):
+            st.panda.submit(job)
+
+    def test_success_fraction(self):
+        st = Stack()
+        ds = st.dataset_at("BNL-ATLAS")
+        job = st.job(ds, mode=DataAccessMode.DIRECT_LOCAL)
+        self._submit_and_run(st, job)
+        assert st.panda.success_fraction() == 1.0

@@ -1,0 +1,65 @@
+"""Reaper-in-campaign integration and doctest execution."""
+
+import doctest
+
+import pytest
+
+
+class TestReaperInCampaign:
+    def test_reaper_frees_storage_without_breaking_analysis(self):
+        from repro.grid.presets import build_mini
+        from repro.scenarios.runtime import HarnessConfig, SimulationHarness
+        from repro.workload.generator import WorkloadConfig
+
+        def run(enable_reaper: bool):
+            h = SimulationHarness(
+                HarnessConfig(
+                    seed=13,
+                    workload=WorkloadConfig(
+                        duration=24 * 3600.0,
+                        analysis_tasks_per_hour=6.0,
+                        production_tasks_per_hour=0.5,
+                        background_transfers_per_hour=40.0,
+                    ),
+                    drain=24 * 3600.0,
+                    enable_reaper=enable_reaper,
+                ),
+                topology=build_mini(seed=13),
+            )
+            h.run()
+            return h
+
+        with_reaper = run(True)
+        without = run(False)
+
+        assert with_reaper.reaper is not None
+        assert with_reaper.reaper.stats.sweeps > 0
+        assert with_reaper.reaper.stats.deleted_replicas > 0
+
+        used_with = sum(r.used_bytes for r in with_reaper.topology.rses.values())
+        used_without = sum(r.used_bytes for r in without.topology.rses.values())
+        assert used_with < used_without
+
+        # deletion must not corrupt job accounting
+        assert with_reaper.collector.n_jobs > 0
+        assert all(j.status.is_terminal for j in with_reaper.collector.completed_jobs)
+
+    def test_reaper_disabled_by_default(self, tiny_harness):
+        assert tiny_harness.reaper is None
+
+
+class TestDoctests:
+    """Execute the doctest examples embedded in docstrings."""
+
+    @pytest.mark.parametrize("module_name", [
+        "repro.units",
+        "repro.ids",
+        "repro.rng",
+    ])
+    def test_module_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"
+        assert results.attempted > 0, f"no doctests found in {module_name}"

@@ -1,0 +1,101 @@
+"""Tests for transfer activities and event records."""
+
+import pytest
+
+from repro.rucio.activities import TABLE1_ORDER, TransferActivity
+from repro.rucio.transfer import TransferEvent, TransferRequest
+from repro.rucio.did import DID
+
+
+class TestActivityTaxonomy:
+    @pytest.mark.parametrize("act", [
+        TransferActivity.ANALYSIS_DOWNLOAD,
+        TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO,
+        TransferActivity.PRODUCTION_DOWNLOAD,
+    ])
+    def test_downloads(self, act):
+        assert act.is_download and not act.is_upload
+
+    @pytest.mark.parametrize("act", [
+        TransferActivity.ANALYSIS_UPLOAD,
+        TransferActivity.PRODUCTION_UPLOAD,
+    ])
+    def test_uploads(self, act):
+        assert act.is_upload and not act.is_download
+
+    def test_background_neither(self):
+        for act in (TransferActivity.DATA_REBALANCING, TransferActivity.DATA_CONSOLIDATION):
+            assert not act.is_download and not act.is_upload
+            assert not act.is_job_driven
+
+    def test_direct_io_overlaps_execution(self):
+        assert TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO.overlaps_execution
+        assert not TransferActivity.ANALYSIS_DOWNLOAD.overlaps_execution
+
+    def test_production_flags(self):
+        assert TransferActivity.PRODUCTION_UPLOAD.is_production
+        assert not TransferActivity.PRODUCTION_UPLOAD.is_analysis
+
+    def test_table1_order_matches_paper(self):
+        assert [a.value for a in TABLE1_ORDER] == [
+            "Analysis Download",
+            "Analysis Upload",
+            "Analysis Download Direct IO",
+            "Production Upload",
+            "Production Download",
+        ]
+
+
+def make_event(**kw) -> TransferEvent:
+    defaults = dict(
+        transfer_id=1, lfn="f", scope="s", dataset="ds", proddblock="ds",
+        file_size=1000, source_rse="A_DATADISK", dest_rse="B_DATADISK",
+        source_site="A", destination_site="B",
+        activity=TransferActivity.ANALYSIS_DOWNLOAD,
+        submitted_at=0.0, starttime=10.0, endtime=110.0,
+    )
+    defaults.update(kw)
+    return TransferEvent(**defaults)
+
+
+class TestTransferEvent:
+    def test_derived_metrics(self):
+        ev = make_event()
+        assert ev.duration == 100.0
+        assert ev.queue_wait == 10.0
+        assert ev.throughput == pytest.approx(10.0)
+
+    def test_local_detection(self):
+        assert make_event(source_site="A", destination_site="A").is_local
+        assert not make_event().is_local
+
+    def test_direction_flags(self):
+        assert make_event().is_download
+        up = make_event(activity=TransferActivity.ANALYSIS_UPLOAD)
+        assert up.is_upload
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            make_event(endtime=5.0)
+        with pytest.raises(ValueError):
+            make_event(starttime=-1.0, endtime=5.0)
+
+    def test_zero_duration_throughput(self):
+        ev = make_event(starttime=10.0, endtime=10.0)
+        assert ev.throughput == 0.0
+
+
+class TestTransferRequest:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRequest(
+                request_id=1, file_did=DID("s", "f"), size=-1,
+                dest_rse="X", activity=TransferActivity.DATA_REBALANCING,
+            )
+
+    def test_defaults(self):
+        req = TransferRequest(
+            request_id=1, file_did=DID("s", "f"), size=10,
+            dest_rse="X", activity=TransferActivity.DATA_REBALANCING,
+        )
+        assert req.pandaid == 0 and not req.ephemeral and req.source_rse is None

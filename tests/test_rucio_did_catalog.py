@@ -1,0 +1,153 @@
+"""Tests for DIDs and the catalog."""
+
+import pytest
+
+from repro.rucio.catalog import DidCatalog
+from repro.rucio.did import DID, ContainerDid, DatasetDid, DidType, FileDid
+
+
+def f(name: str, size: int = 100, scope: str = "s") -> FileDid:
+    return FileDid(did=DID(scope, name), size=size, dataset_name="ds", proddblock="ds")
+
+
+class TestDID:
+    def test_str_and_parse_roundtrip(self):
+        d = DID("user.x", "file.root")
+        assert DID.parse(str(d)) == d
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DID("", "n")
+        with pytest.raises(ValueError):
+            DID("s", "")
+
+    def test_rejects_colon_in_scope(self):
+        with pytest.raises(ValueError):
+            DID("a:b", "n")
+
+    def test_parse_rejects_plain_name(self):
+        with pytest.raises(ValueError):
+            DID.parse("no-colon")
+
+    def test_hashable(self):
+        assert len({DID("s", "a"), DID("s", "a"), DID("s", "b")}) == 2
+
+
+class TestFileDid:
+    def test_lfn_is_name(self):
+        fd = f("myfile")
+        assert fd.lfn == "myfile"
+        assert fd.scope == "s"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FileDid(did=DID("s", "n"), size=-1)
+
+
+class TestDatasetDid:
+    def test_attach(self):
+        ds = DatasetDid(did=DID("s", "ds"))
+        ds.attach(DID("s", "f1"))
+        assert ds.n_files == 1
+
+    def test_attach_duplicate_rejected(self):
+        ds = DatasetDid(did=DID("s", "ds"))
+        ds.attach(DID("s", "f1"))
+        with pytest.raises(ValueError):
+            ds.attach(DID("s", "f1"))
+
+    def test_closed_dataset_rejects_attach(self):
+        ds = DatasetDid(did=DID("s", "ds"))
+        ds.close()
+        with pytest.raises(RuntimeError):
+            ds.attach(DID("s", "f1"))
+
+
+class TestContainer:
+    def test_self_containment_rejected(self):
+        c = ContainerDid(did=DID("s", "c"))
+        with pytest.raises(ValueError):
+            c.attach(DID("s", "c"))
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        cat = DidCatalog()
+        fd = cat.register_file(f("f1"))
+        assert cat.file(fd.did) is fd
+        assert cat.did_type(fd.did) is DidType.FILE
+
+    def test_duplicate_file_rejected(self):
+        cat = DidCatalog()
+        cat.register_file(f("f1"))
+        with pytest.raises(ValueError):
+            cat.register_file(f("f1"))
+
+    def test_dataset_requires_registered_files(self):
+        cat = DidCatalog()
+        ds = DatasetDid(did=DID("s", "ds"), file_dids=[DID("s", "ghost")])
+        with pytest.raises(ValueError):
+            cat.register_dataset(ds)
+
+    def test_dataset_files_in_order(self):
+        cat = DidCatalog()
+        fds = [cat.register_file(f(f"f{i}")) for i in range(3)]
+        ds = DatasetDid(did=DID("s", "ds"), file_dids=[x.did for x in fds])
+        cat.register_dataset(ds)
+        assert [x.lfn for x in cat.dataset_files(ds.did)] == ["f0", "f1", "f2"]
+
+    def test_attach_file_updates_reverse_index(self):
+        cat = DidCatalog()
+        fd = cat.register_file(f("f1"))
+        ds = DatasetDid(did=DID("s", "ds"))
+        cat.register_dataset(ds)
+        cat.attach_file(ds.did, fd.did)
+        assert cat.datasets_of_file(fd.did) == [ds.did]
+
+    def test_container_resolution_recurses(self):
+        cat = DidCatalog()
+        fds = [cat.register_file(f(f"f{i}")) for i in range(4)]
+        ds1 = DatasetDid(did=DID("s", "ds1"), file_dids=[fds[0].did, fds[1].did])
+        ds2 = DatasetDid(did=DID("s", "ds2"), file_dids=[fds[2].did])
+        cat.register_dataset(ds1)
+        cat.register_dataset(ds2)
+        inner = ContainerDid(did=DID("s", "inner"), child_dids=[ds2.did])
+        cat.register_container(inner)
+        outer = ContainerDid(did=DID("s", "outer"), child_dids=[ds1.did, inner.did])
+        cat.register_container(outer)
+        resolved = {x.lfn for x in cat.resolve_files(outer.did)}
+        assert resolved == {"f0", "f1", "f2"}
+
+    def test_container_with_unknown_child_rejected(self):
+        cat = DidCatalog()
+        c = ContainerDid(did=DID("s", "c"), child_dids=[DID("s", "ghost")])
+        with pytest.raises(ValueError):
+            cat.register_container(c)
+
+    def test_resolve_file_did(self):
+        cat = DidCatalog()
+        fd = cat.register_file(f("f1"))
+        assert cat.resolve_files(fd.did) == [fd]
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DidCatalog().resolve_files(DID("s", "nope"))
+
+    def test_total_bytes(self):
+        cat = DidCatalog()
+        fds = [cat.register_file(f(f"f{i}", size=10 * (i + 1))) for i in range(3)]
+        ds = DatasetDid(did=DID("s", "ds"), file_dids=[x.did for x in fds])
+        cat.register_dataset(ds)
+        assert cat.total_bytes(ds.did) == 60
+
+    def test_counts(self):
+        cat = DidCatalog()
+        cat.register_file(f("f1"))
+        assert (cat.n_files, cat.n_datasets, cat.n_containers) == (1, 0, 0)
+
+    def test_shared_file_in_two_datasets(self):
+        cat = DidCatalog()
+        fd = cat.register_file(f("shared"))
+        for name in ("ds1", "ds2"):
+            cat.register_dataset(DatasetDid(did=DID("s", name), file_dids=[fd.did]))
+        assert len(cat.datasets_of_file(fd.did)) == 2

@@ -1,0 +1,351 @@
+"""Tests for the FTS-like transfer service, selector, rules, and client."""
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.grid.presets import build_mini
+from repro.grid.rse import RseKind, rse_name
+from repro.ids import IdFactory
+from repro.rucio.activities import TransferActivity
+from repro.rucio.catalog import DidCatalog
+from repro.rucio.client import RucioClient
+from repro.rucio.did import DID, DatasetDid, FileDid
+from repro.rucio.fts import TransferService
+from repro.rucio.replica import ReplicaRegistry
+from repro.rucio.rules import RuleEngine
+from repro.rucio.selector import ReplicaSelector
+from repro.rucio.transfer import TransferEvent, TransferRequest
+from repro.sim.engine import Engine
+
+
+class Rig:
+    """A minimal Rucio stack over the mini topology."""
+
+    def __init__(self, seed: int = 1, failure_rate: float = 0.0, link_capacity: int = 12):
+        self.engine = Engine()
+        self.topo = build_mini(seed=seed)
+        self.ids = IdFactory()
+        self.catalog = DidCatalog()
+        self.replicas = ReplicaRegistry(self.topo)
+        self.events: List[TransferEvent] = []
+        self.fts = TransferService(
+            self.engine, self.topo, self.replicas, self.ids,
+            self.events.append, np.random.default_rng(seed),
+            link_capacity=link_capacity, failure_rate=failure_rate,
+        )
+        self.rules = RuleEngine(self.topo, self.catalog, self.replicas, self.fts, self.ids)
+        self.client = RucioClient(
+            self.topo, self.catalog, self.replicas, self.fts, self.rules, self.ids
+        )
+
+    def register_dataset(self, n_files: int = 3, scope: str = "user.a",
+                         size: int = 10**9, site: str = "CERN-PROD") -> DatasetDid:
+        ds = DatasetDid(did=DID(scope, f"ds{self.ids.next_jeditaskid()}"))
+        for i in range(n_files):
+            f = FileDid(
+                did=DID(scope, self.ids.make_lfn(scope)), size=size,
+                dataset_name=ds.did.name, proddblock=ds.did.name,
+            )
+            self.catalog.register_file(f)
+            ds.file_dids.append(f.did)
+        self.catalog.register_dataset(ds)
+        if site:
+            for f in self.catalog.dataset_files(ds.did):
+                self.replicas.add(f.did, rse_name(site, RseKind.DATADISK), f.size)
+        return ds
+
+    def request(self, file_did: DID, dest_rse: str, **kw) -> TransferRequest:
+        f = self.catalog.file(file_did)
+        return TransferRequest(
+            request_id=self.ids.next_transferid(),
+            file_did=file_did, size=f.size, dest_rse=dest_rse,
+            activity=kw.pop("activity", TransferActivity.DATA_REBALANCING),
+            dataset_name=f.dataset_name, proddblock=f.proddblock, **kw,
+        )
+
+
+class TestSelector:
+    def test_prefers_local_replica(self):
+        rig = Rig()
+        ds = rig.register_dataset(site="CERN-PROD")
+        fd = ds.file_dids[0]
+        rig.replicas.add(fd, "BNL-ATLAS_DATADISK", 10**9)
+        sel = ReplicaSelector(rig.topo, rig.replicas)
+        choice = sel.choose(fd, "CERN-PROD", now=0.0)
+        assert choice is not None and choice.source_site == "CERN-PROD"
+
+    def test_none_when_no_replicas(self):
+        rig = Rig()
+        ds = rig.register_dataset(site="")
+        sel = ReplicaSelector(rig.topo, rig.replicas)
+        assert sel.choose(ds.file_dids[0], "CERN-PROD", now=0.0) is None
+
+    def test_exclusion(self):
+        rig = Rig()
+        ds = rig.register_dataset(site="CERN-PROD")
+        fd = ds.file_dids[0]
+        sel = ReplicaSelector(rig.topo, rig.replicas)
+        choice = sel.choose(fd, "CERN-PROD", 0.0, exclude_rses={"CERN-PROD_DATADISK"})
+        assert choice is None
+
+    def test_rank_exhaustive(self):
+        rig = Rig()
+        ds = rig.register_dataset(site="CERN-PROD")
+        fd = ds.file_dids[0]
+        rig.replicas.add(fd, "BNL-ATLAS_DATADISK", 10**9)
+        sel = ReplicaSelector(rig.topo, rig.replicas)
+        ranked = sel.rank(fd, "CERN-PROD", 0.0)
+        assert [c.source_site for c in ranked][0] == "CERN-PROD"
+        assert len(ranked) == 2
+
+
+class TestTransferService:
+    def test_transfer_lands_replica_and_event(self):
+        rig = Rig()
+        ds = rig.register_dataset(site="CERN-PROD")
+        fd = ds.file_dids[0]
+        rig.fts.submit(rig.request(fd, "BNL-ATLAS_DATADISK"))
+        rig.engine.run()
+        assert rig.replicas.get(fd, "BNL-ATLAS_DATADISK") is not None
+        assert len(rig.events) == 1
+        ev = rig.events[0]
+        assert ev.source_site == "CERN-PROD" and ev.destination_site == "BNL-ATLAS"
+        assert ev.success and ev.endtime > ev.starttime
+
+    def test_event_carries_job_identity(self):
+        rig = Rig()
+        ds = rig.register_dataset()
+        req = rig.request(ds.file_dids[0], "BNL-ATLAS_DATADISK",
+                          pandaid=42, jeditaskid=7)
+        rig.fts.submit(req)
+        rig.engine.run()
+        assert rig.events[0].pandaid == 42
+        assert rig.events[0].jeditaskid == 7
+
+    def test_no_source_fails_immediately(self):
+        rig = Rig()
+        ds = rig.register_dataset(site="")
+        rig.fts.submit(rig.request(ds.file_dids[0], "BNL-ATLAS_DATADISK"))
+        rig.engine.run()
+        assert len(rig.events) == 1
+        assert not rig.events[0].success
+        assert rig.fts.failed == 1
+
+    def test_group_parallelism_serialises(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=4)
+        reqs = [rig.request(fd, "BNL-ATLAS_DATADISK") for fd in ds.file_dids]
+        rig.fts.submit_group(reqs, parallelism=1)
+        rig.engine.run()
+        spans = sorted((e.starttime, e.endtime) for e in rig.events)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-9  # sequential: no overlap
+
+    def test_group_parallel_overlaps(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=4, size=20 * 10**9)
+        reqs = [rig.request(fd, "BNL-ATLAS_DATADISK") for fd in ds.file_dids]
+        rig.fts.submit_group(reqs, parallelism=4)
+        rig.engine.run()
+        spans = sorted((e.starttime, e.endtime) for e in rig.events)
+        overlaps = any(s2 < e1 for (s1, e1), (s2, _) in zip(spans, spans[1:]))
+        assert overlaps
+
+    def test_group_completion_callback(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=3)
+        done: List[List[TransferEvent]] = []
+        reqs = [rig.request(fd, "BNL-ATLAS_DATADISK") for fd in ds.file_dids]
+        rig.fts.submit_group(reqs, parallelism=2, on_complete=done.append)
+        rig.engine.run()
+        assert len(done) == 1 and len(done[0]) == 3
+
+    def test_empty_group_completes(self):
+        rig = Rig()
+        done: List[List[TransferEvent]] = []
+        rig.fts.submit_group([], parallelism=2, on_complete=done.append)
+        rig.engine.run()
+        assert done == [[]]
+
+    def test_link_capacity_queues(self):
+        rig = Rig(link_capacity=1)
+        ds = rig.register_dataset(n_files=3)
+        for fd in ds.file_dids:
+            rig.fts.submit(rig.request(fd, "BNL-ATLAS_DATADISK"))
+        rig.engine.run()
+        spans = sorted((e.starttime, e.endtime) for e in rig.events)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-9
+
+    def test_failures_reported(self):
+        rig = Rig(failure_rate=1.0)
+        ds = rig.register_dataset()
+        rig.fts.submit(rig.request(ds.file_dids[0], "BNL-ATLAS_DATADISK"))
+        rig.engine.run()
+        assert not rig.events[0].success
+        assert rig.replicas.get(ds.file_dids[0], "BNL-ATLAS_DATADISK") is None
+
+    def test_ephemeral_lands_no_replica(self):
+        rig = Rig()
+        ds = rig.register_dataset()
+        req = rig.request(ds.file_dids[0], "BNL-ATLAS_SCRATCHDISK")
+        req.ephemeral = True
+        rig.fts.submit(req)
+        rig.engine.run()
+        assert rig.events[0].success
+        assert rig.replicas.get(ds.file_dids[0], "BNL-ATLAS_SCRATCHDISK") is None
+
+    def test_parallelism_must_be_positive(self):
+        rig = Rig()
+        with pytest.raises(ValueError):
+            rig.fts.submit_group([], parallelism=0)
+
+
+class TestRuleEngine:
+    def test_rule_triggers_fill(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=2, site="CERN-PROD")
+        rule = rig.rules.pin_dataset_at_site(ds.did, "BNL-ATLAS", now=0.0)
+        rig.engine.run()
+        assert rig.rules.satisfied(rule)
+        assert len(rig.events) == 2
+
+    def test_rule_skips_existing_replicas(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=2, site="CERN-PROD")
+        rig.rules.pin_dataset_at_site(ds.did, "CERN-PROD", now=0.0)
+        rig.engine.run()
+        assert rig.events == []
+
+    def test_rule_expiry(self):
+        rig = Rig()
+        ds = rig.register_dataset()
+        rule = rig.rules.pin_dataset_at_site(ds.did, "CERN-PROD", now=0.0, lifetime=100.0)
+        assert not rule.expired(50.0)
+        assert rule.expired(100.0)
+        gone = rig.rules.expire(200.0)
+        assert gone == [rule] and rig.rules.n_rules == 0
+
+    def test_protection(self):
+        rig = Rig()
+        ds = rig.register_dataset(site="CERN-PROD")
+        rig.rules.pin_dataset_at_site(ds.did, "CERN-PROD", now=0.0, lifetime=100.0)
+        fd = ds.file_dids[0]
+        assert rig.rules.is_protected(fd, "CERN-PROD_DATADISK", now=10.0)
+        assert not rig.rules.is_protected(fd, "CERN-PROD_DATADISK", now=200.0)
+
+    def test_unknown_rse_rejected(self):
+        rig = Rig()
+        ds = rig.register_dataset()
+        with pytest.raises(KeyError):
+            rig.rules.add_rule(ds.did, ["GHOST_DATADISK"], now=0.0)
+
+    def test_rule_carries_activity(self):
+        rig = Rig()
+        ds = rig.register_dataset(site="CERN-PROD")
+        rig.rules.pin_dataset_at_site(
+            ds.did, "BNL-ATLAS", now=0.0,
+            activity=TransferActivity.PRODUCTION_DOWNLOAD, jeditaskid=99,
+        )
+        rig.engine.run()
+        assert all(e.activity is TransferActivity.PRODUCTION_DOWNLOAD for e in rig.events)
+        assert all(e.jeditaskid == 99 for e in rig.events)
+
+
+class TestRucioClient:
+    def test_dataset_locations(self):
+        rig = Rig()
+        ds = rig.register_dataset(site="CERN-PROD")
+        assert rig.client.dataset_locations(ds.did) == {"CERN-PROD"}
+
+    def test_partial_locations(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=2, site="CERN-PROD")
+        rig.replicas.add(ds.file_dids[0], "BNL-ATLAS_DATADISK", 10**9)
+        partial = rig.client.partial_locations(ds.did)
+        assert partial["CERN-PROD"] == 2 and partial["BNL-ATLAS"] == 1
+        assert rig.client.dataset_locations(ds.did) == {"CERN-PROD"}
+
+    def test_stage_in_all_files_local_copy(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=3, site="CERN-PROD")
+        rig.client.stage_in(
+            ds.did, "CERN-PROD", TransferActivity.ANALYSIS_DOWNLOAD,
+            pandaid=1, jeditaskid=2,
+        )
+        rig.engine.run()
+        assert len(rig.events) == 3
+        assert all(e.is_local for e in rig.events)
+
+    def test_stage_in_remote_pull(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=2, site="CERN-PROD")
+        rig.client.stage_in(
+            ds.did, "BNL-ATLAS", TransferActivity.ANALYSIS_DOWNLOAD,
+            pandaid=1, jeditaskid=2,
+        )
+        rig.engine.run()
+        assert all(e.source_site == "CERN-PROD" for e in rig.events)
+        assert all(e.destination_site == "BNL-ATLAS" for e in rig.events)
+
+    def test_stage_in_subset(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=4, site="CERN-PROD")
+        rig.client.stage_in(
+            ds.did, "CERN-PROD", TransferActivity.ANALYSIS_DOWNLOAD,
+            pandaid=1, jeditaskid=2, file_dids=ds.file_dids[:2],
+        )
+        rig.engine.run()
+        assert len(rig.events) == 2
+
+    def test_stage_in_rejects_upload_activity(self):
+        rig = Rig()
+        ds = rig.register_dataset()
+        with pytest.raises(ValueError):
+            rig.client.stage_in(
+                ds.did, "CERN-PROD", TransferActivity.ANALYSIS_UPLOAD,
+                pandaid=1, jeditaskid=2,
+            )
+
+    def test_direct_io_streams_are_ephemeral(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=2, site="CERN-PROD")
+        rig.client.stage_in(
+            ds.did, "CERN-PROD", TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO,
+            pandaid=1, jeditaskid=2,
+        )
+        rig.engine.run()
+        assert len(rig.events) == 2
+        for fd in ds.file_dids:
+            assert rig.replicas.get(fd, "CERN-PROD_SCRATCHDISK") is None
+
+    def test_register_and_stage_out(self):
+        rig = Rig()
+        ds_out = rig.client.register_output_dataset("user.a", 777)
+        f = rig.client.register_output_file(ds_out, 5 * 10**8, "CERN-PROD", now=0.0)
+        rig.client.stage_out(
+            [f], "CERN-PROD", "BNL-ATLAS", TransferActivity.ANALYSIS_UPLOAD,
+            pandaid=3, jeditaskid=777,
+        )
+        rig.engine.run()
+        assert len(rig.events) == 1
+        ev = rig.events[0]
+        assert ev.is_upload and ev.source_site == "CERN-PROD"
+        assert rig.replicas.get(f.did, "BNL-ATLAS_DATADISK") is not None
+
+    def test_stage_out_rejects_download_activity(self):
+        rig = Rig()
+        with pytest.raises(ValueError):
+            rig.client.stage_out(
+                [], "CERN-PROD", "BNL-ATLAS", TransferActivity.ANALYSIS_DOWNLOAD,
+                pandaid=1, jeditaskid=1,
+            )
+
+    def test_missing_files_at(self):
+        rig = Rig()
+        ds = rig.register_dataset(n_files=3, site="CERN-PROD")
+        rig.replicas.add(ds.file_dids[0], "BNL-ATLAS_DATADISK", 10**9)
+        missing = rig.client.missing_files_at(ds.did, "BNL-ATLAS")
+        assert len(missing) == 2

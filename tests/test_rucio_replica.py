@@ -1,0 +1,92 @@
+"""Tests for the replica registry."""
+
+import pytest
+
+from repro.grid.presets import build_mini
+from repro.rucio.did import DID
+from repro.rucio.replica import ReplicaRegistry, ReplicaState
+
+
+@pytest.fixture()
+def reg():
+    return ReplicaRegistry(build_mini(seed=1))
+
+
+FD = DID("s", "file1")
+
+
+class TestAddRemove:
+    def test_add_and_get(self, reg):
+        rep = reg.add(FD, "CERN-PROD_DATADISK", 100)
+        assert reg.get(FD, "CERN-PROD_DATADISK") is rep
+        assert rep.state is ReplicaState.AVAILABLE
+
+    def test_add_updates_rse_usage(self, reg):
+        reg.add(FD, "CERN-PROD_DATADISK", 100)
+        assert reg.topology.rse("CERN-PROD_DATADISK").used_bytes == 100
+
+    def test_duplicate_replica_rejected(self, reg):
+        reg.add(FD, "CERN-PROD_DATADISK", 100)
+        with pytest.raises(ValueError):
+            reg.add(FD, "CERN-PROD_DATADISK", 100)
+
+    def test_unknown_rse_rejected(self, reg):
+        with pytest.raises(KeyError):
+            reg.add(FD, "NOPE_DATADISK", 100)
+
+    def test_remove_releases_capacity(self, reg):
+        reg.add(FD, "CERN-PROD_DATADISK", 100)
+        reg.remove(FD, "CERN-PROD_DATADISK")
+        assert reg.topology.rse("CERN-PROD_DATADISK").used_bytes == 0
+        assert reg.replicas_of(FD) == []
+
+    def test_remove_missing_raises(self, reg):
+        with pytest.raises(KeyError):
+            reg.remove(FD, "CERN-PROD_DATADISK")
+
+    def test_same_file_multiple_rses(self, reg):
+        reg.add(FD, "CERN-PROD_DATADISK", 100)
+        reg.add(FD, "BNL-ATLAS_DATADISK", 100)
+        assert len(reg.replicas_of(FD)) == 2
+        assert reg.n_replicas() == 2
+
+
+class TestStates:
+    def test_copying_not_available(self, reg):
+        reg.add(FD, "CERN-PROD_DATADISK", 100, state=ReplicaState.COPYING)
+        assert reg.available_replicas_of(FD) == []
+        assert not reg.has_available_at_site(FD, "CERN-PROD")
+
+    def test_mark_available(self, reg):
+        reg.add(FD, "CERN-PROD_DATADISK", 100, state=ReplicaState.COPYING)
+        reg.mark_available(FD, "CERN-PROD_DATADISK")
+        assert reg.has_available_at_site(FD, "CERN-PROD")
+
+    def test_mark_available_missing_raises(self, reg):
+        with pytest.raises(KeyError):
+            reg.mark_available(FD, "CERN-PROD_DATADISK")
+
+
+class TestSiteQueries:
+    def test_sites_with_file(self, reg):
+        reg.add(FD, "CERN-PROD_DATADISK", 100)
+        reg.add(FD, "CERN-PROD_SCRATCHDISK", 100)
+        reg.add(FD, "BNL-ATLAS_DATADISK", 100)
+        assert reg.sites_with_file(FD) == {"CERN-PROD", "BNL-ATLAS"}
+
+    def test_dataset_complete_at_site(self, reg):
+        f1, f2 = DID("s", "a"), DID("s", "b")
+        reg.add(f1, "CERN-PROD_DATADISK", 1)
+        reg.add(f2, "CERN-PROD_DATADISK", 1)
+        assert reg.dataset_complete_at_site([f1, f2], "CERN-PROD")
+        assert not reg.dataset_complete_at_site([f1, f2], "BNL-ATLAS")
+
+    def test_missing_at_site(self, reg):
+        f1, f2 = DID("s", "a"), DID("s", "b")
+        reg.add(f1, "CERN-PROD_DATADISK", 1)
+        assert reg.missing_at_site([f1, f2], "CERN-PROD") == [f2]
+
+    def test_files_at_rse(self, reg):
+        reg.add(FD, "CERN-PROD_DATADISK", 1)
+        assert reg.files_at_rse("CERN-PROD_DATADISK") == {FD}
+        assert reg.files_at_rse("BNL-ATLAS_DATADISK") == set()

@@ -1,0 +1,100 @@
+"""Stateful property test: the replica registry under random operations.
+
+A hypothesis rule-based state machine performs random add / remove /
+mark-available operations against a model dict and checks the registry's
+invariants after every step:
+
+* per-RSE ``used_bytes`` equals the sum of its replicas' sizes;
+* by-file and by-RSE views agree;
+* availability queries match the model exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.grid.presets import build_mini
+from repro.rucio.did import DID
+from repro.rucio.replica import ReplicaRegistry, ReplicaState
+
+RSES = ["CERN-PROD_DATADISK", "BNL-ATLAS_DATADISK", "NDGF-T1_SCRATCHDISK"]
+FILES = [DID("s", f"f{i}") for i in range(6)]
+
+
+class ReplicaMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.topo = build_mini(seed=0)
+        self.reg = ReplicaRegistry(self.topo)
+        #: model: (did, rse) -> (size, available)
+        self.model: dict[tuple[DID, str], tuple[int, bool]] = {}
+
+    # -- operations -------------------------------------------------------------
+
+    @rule(f=st.sampled_from(FILES), rse=st.sampled_from(RSES),
+          size=st.integers(min_value=1, max_value=10**9),
+          available=st.booleans())
+    def add(self, f, rse, size, available):
+        key = (f, rse)
+        if key in self.model:
+            return  # duplicate adds raise; covered by unit tests
+        state = ReplicaState.AVAILABLE if available else ReplicaState.COPYING
+        self.reg.add(f, rse, size, state=state)
+        self.model[key] = (size, available)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model, key=str)))
+        f, rse = key
+        self.reg.remove(f, rse)
+        del self.model[key]
+
+    @precondition(lambda self: any(not v[1] for v in self.model.values()))
+    @rule(data=st.data())
+    def mark_available(self, data):
+        copying = sorted((k for k, v in self.model.items() if not v[1]), key=str)
+        f, rse = data.draw(st.sampled_from(copying))
+        self.reg.mark_available(f, rse)
+        size, _ = self.model[(f, rse)]
+        self.model[(f, rse)] = (size, True)
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def rse_accounting_consistent(self):
+        for rse_name in RSES:
+            expected = sum(
+                size for (f, r), (size, _) in self.model.items() if r == rse_name
+            )
+            assert self.topo.rse(rse_name).used_bytes == expected
+
+    @invariant()
+    def views_agree(self):
+        for rse_name in RSES:
+            files_here = {f for (f, r) in self.model if r == rse_name}
+            assert self.reg.files_at_rse(rse_name) == files_here
+        for f in FILES:
+            rses_of_f = {r for (g, r) in self.model if g == f}
+            assert {rep.rse_name for rep in self.reg.replicas_of(f)} == rses_of_f
+
+    @invariant()
+    def availability_matches_model(self):
+        for f in FILES:
+            expected_sites = {
+                self.topo.rse(r).site_name
+                for (g, r), (_, avail) in self.model.items()
+                if g == f and avail
+            }
+            assert self.reg.sites_with_file(f) == expected_sites
+
+    @invariant()
+    def replica_count_matches(self):
+        assert self.reg.n_replicas() == len(self.model)
+
+
+TestReplicaMachine = ReplicaMachine.TestCase
+TestReplicaMachine.settings = settings(max_examples=40, stateful_step_count=30,
+                                       deadline=None)

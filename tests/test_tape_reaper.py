@@ -1,0 +1,238 @@
+"""Tests for the tape system, carousel integration, and the reaper."""
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.grid.presets import build_mini
+from repro.grid.rse import RseKind, rse_name
+from repro.ids import IdFactory
+from repro.rucio.activities import TransferActivity
+from repro.rucio.catalog import DidCatalog
+from repro.rucio.did import DID, DatasetDid, FileDid
+from repro.rucio.fts import TransferService
+from repro.rucio.reaper import Reaper
+from repro.rucio.replica import ReplicaRegistry
+from repro.rucio.rules import RuleEngine
+from repro.rucio.selector import ReplicaSelector
+from repro.rucio.tape import TapeSystem
+from repro.rucio.transfer import TransferEvent
+from repro.sim.engine import Engine
+
+
+class Rig:
+    def __init__(self, seed: int = 1, tape_failure: float = 0.0):
+        self.engine = Engine()
+        self.topo = build_mini(seed=seed)
+        self.ids = IdFactory()
+        self.catalog = DidCatalog()
+        self.replicas = ReplicaRegistry(self.topo)
+        self.events: List[TransferEvent] = []
+        self.fts = TransferService(
+            self.engine, self.topo, self.replicas, self.ids,
+            self.events.append, np.random.default_rng(seed), failure_rate=0.0,
+        )
+        self.tape = TapeSystem(
+            self.engine, self.topo, self.replicas, self.ids,
+            self.events.append, np.random.default_rng(seed),
+            failure_rate=tape_failure,
+        )
+        self.rules = RuleEngine(
+            self.topo, self.catalog, self.replicas, self.fts, self.ids, tape=self.tape)
+
+    def file_on_tape(self, site: str = "CERN-PROD", size: int = 10**9) -> FileDid:
+        f = FileDid(did=DID("mc", self.ids.make_lfn("mc")), size=size,
+                    dataset_name="ds", proddblock="ds")
+        self.catalog.register_file(f)
+        self.replicas.add(f.did, rse_name(site, RseKind.TAPE), size)
+        return f
+
+    def dataset_on_tape(self, n: int = 2, site: str = "CERN-PROD") -> DatasetDid:
+        ds = DatasetDid(did=DID("mc", f"ds{self.ids.next_jeditaskid()}"))
+        for _ in range(n):
+            f = self.file_on_tape(site)
+            ds.file_dids.append(f.did)
+        self.catalog.register_dataset(ds)
+        return ds
+
+
+class TestTapeSystem:
+    def test_stage_lands_on_buffer(self):
+        rig = Rig()
+        f = rig.file_on_tape()
+        done = []
+        rig.tape.stage(f.did, f.size, "CERN-PROD_TAPE", on_complete=done.append)
+        rig.engine.run()
+        assert done == [True]
+        assert rig.replicas.get(f.did, "CERN-PROD_DATADISK") is not None
+
+    def test_stage_emits_staging_event(self):
+        rig = Rig()
+        f = rig.file_on_tape()
+        rig.tape.stage(f.did, f.size, "CERN-PROD_TAPE")
+        rig.engine.run()
+        assert len(rig.events) == 1
+        ev = rig.events[0]
+        assert ev.activity is TransferActivity.STAGING
+        assert ev.source_site == ev.destination_site == "CERN-PROD"
+        assert ev.pandaid == 0
+
+    def test_duration_includes_mount_and_read(self):
+        rig = Rig()
+        f = rig.file_on_tape(size=3 * 10**9)
+        rig.tape.stage(f.did, f.size, "CERN-PROD_TAPE")
+        rig.engine.run()
+        ev = rig.events[0]
+        expected = rig.tape.mount_seconds + f.size / rig.tape.drive_bandwidth
+        assert ev.duration == pytest.approx(expected)
+
+    def test_drive_pool_limits_concurrency(self):
+        rig = Rig()
+        rig.tape.drives_per_rse = 1
+        files = [rig.file_on_tape() for _ in range(3)]
+        for f in files:
+            rig.tape.stage(f.did, f.size, "CERN-PROD_TAPE")
+        assert rig.tape.queue_depth("CERN-PROD_TAPE") == 2
+        rig.engine.run()
+        spans = sorted((e.starttime, e.endtime) for e in rig.events)
+        for (_, e1), (s2, _) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-9
+
+    def test_non_tape_rse_rejected(self):
+        rig = Rig()
+        f = rig.file_on_tape()
+        with pytest.raises(ValueError):
+            rig.tape.stage(f.did, f.size, "CERN-PROD_DATADISK")
+
+    def test_missing_tape_replica_rejected(self):
+        rig = Rig()
+        f = FileDid(did=DID("mc", "ghost"), size=1)
+        rig.catalog.register_file(f)
+        with pytest.raises(KeyError):
+            rig.tape.stage(f.did, 1, "CERN-PROD_TAPE")
+
+    def test_failed_recall_reports(self):
+        rig = Rig(tape_failure=1.0)
+        f = rig.file_on_tape()
+        done = []
+        rig.tape.stage(f.did, f.size, "CERN-PROD_TAPE", on_complete=done.append)
+        rig.engine.run()
+        assert done == [False]
+        assert not rig.events[0].success
+        assert rig.replicas.get(f.did, "CERN-PROD_DATADISK") is None
+
+
+class TestSelectorSkipsTape:
+    def test_tape_only_file_has_no_source(self):
+        rig = Rig()
+        f = rig.file_on_tape()
+        sel = ReplicaSelector(rig.topo, rig.replicas)
+        assert sel.choose(f.did, "BNL-ATLAS", now=0.0) is None
+
+    def test_disk_copy_selected_over_tape(self):
+        rig = Rig()
+        f = rig.file_on_tape()
+        rig.replicas.add(f.did, "NDGF-T1_DATADISK", f.size)
+        sel = ReplicaSelector(rig.topo, rig.replicas)
+        choice = sel.choose(f.did, "BNL-ATLAS", now=0.0)
+        assert choice is not None and choice.source_rse == "NDGF-T1_DATADISK"
+
+
+class TestCarouselRule:
+    def test_rule_stages_then_transfers(self):
+        rig = Rig()
+        ds = rig.dataset_on_tape(n=2, site="CERN-PROD")
+        rule = rig.rules.pin_dataset_at_site(
+            ds.did, "BNL-ATLAS", now=0.0,
+            activity=TransferActivity.PRODUCTION_DOWNLOAD, jeditaskid=5)
+        rig.engine.run()
+        stagings = [e for e in rig.events if e.activity is TransferActivity.STAGING]
+        transfers = [e for e in rig.events
+                     if e.activity is TransferActivity.PRODUCTION_DOWNLOAD]
+        assert len(stagings) == 2 and len(transfers) == 2
+        # chaining: each transfer starts after its recall finished
+        assert min(t.starttime for t in transfers) >= min(s.endtime for s in stagings)
+        assert rig.rules.satisfied(rule)
+
+    def test_rule_to_buffer_site_needs_no_transfer(self):
+        rig = Rig()
+        ds = rig.dataset_on_tape(n=2, site="CERN-PROD")
+        rule = rig.rules.pin_dataset_at_site(ds.did, "CERN-PROD", now=0.0, jeditaskid=5)
+        rig.engine.run()
+        assert all(e.activity is TransferActivity.STAGING for e in rig.events)
+        assert rig.rules.satisfied(rule)
+
+    def test_without_tape_system_no_stage(self):
+        rig = Rig()
+        rig.rules.tape = None
+        ds = rig.dataset_on_tape(n=1)
+        rig.rules.pin_dataset_at_site(ds.did, "BNL-ATLAS", now=0.0)
+        rig.engine.run()
+        # The wide-area transfer fails (no disk source, selector skips tape).
+        assert any(not e.success for e in rig.events)
+
+
+class TestReaper:
+    def _reaper(self, rig: Rig, **kw) -> Reaper:
+        return Reaper(rig.engine, rig.topo, rig.replicas, rig.rules, **kw)
+
+    def test_scratch_purged_after_grace(self):
+        rig = Rig()
+        f = FileDid(did=DID("u", "f1"), size=100)
+        rig.catalog.register_file(f)
+        rig.replicas.add(f.did, "CERN-PROD_SCRATCHDISK", 100, now=0.0)
+        reaper = self._reaper(rig, scratch_grace=3600.0)
+        rig.engine.clock.advance_to(7200.0)
+        assert reaper.sweep() == 1
+        assert rig.replicas.get(f.did, "CERN-PROD_SCRATCHDISK") is None
+        assert reaper.stats.freed_bytes == 100
+
+    def test_scratch_kept_within_grace(self):
+        rig = Rig()
+        f = FileDid(did=DID("u", "f1"), size=100)
+        rig.catalog.register_file(f)
+        rig.replicas.add(f.did, "CERN-PROD_SCRATCHDISK", 100, now=0.0)
+        reaper = self._reaper(rig, scratch_grace=3600.0)
+        rig.engine.clock.advance_to(100.0)
+        assert reaper.sweep() == 0
+
+    def test_protected_replica_survives(self):
+        rig = Rig()
+        f = FileDid(did=DID("u", "f1"), size=100)
+        rig.catalog.register_file(f)
+        ds = DatasetDid(did=DID("u", "ds"), file_dids=[f.did])
+        rig.catalog.register_dataset(ds)
+        rig.replicas.add(f.did, "CERN-PROD_SCRATCHDISK", 100, now=0.0)
+        rig.rules.add_rule(ds.did, ["CERN-PROD_SCRATCHDISK"], now=0.0,
+                           lifetime=10_000.0, trigger_transfers=False)
+        reaper = self._reaper(rig, scratch_grace=3600.0)
+        rig.engine.clock.advance_to(7200.0)
+        assert reaper.sweep() == 0
+        # after the rule expires the replica goes
+        rig.engine.clock.advance_to(20_000.0)
+        assert reaper.sweep() == 1
+
+    def test_datadisk_watermark_eviction(self):
+        rig = Rig()
+        rse = rig.topo.rse("CERN-PROD_DATADISK")
+        rse.capacity_bytes = 1000.0
+        for i in range(10):
+            f = FileDid(did=DID("u", f"f{i}"), size=95)
+            rig.catalog.register_file(f)
+            rig.replicas.add(f.did, rse.name, 95, now=float(i))
+        reaper = self._reaper(rig, datadisk_watermark=0.85, datadisk_target=0.5)
+        removed = reaper.sweep()
+        assert removed >= 4
+        assert rse.fill_fraction <= 0.55
+        # oldest first: f0 gone, newest survives
+        assert rig.replicas.get(DID("u", "f0"), rse.name) is None
+        assert rig.replicas.get(DID("u", "f9"), rse.name) is not None
+
+    def test_periodic_start_idempotent(self):
+        rig = Rig()
+        reaper = self._reaper(rig, interval=100.0)
+        reaper.start()
+        reaper.start()
+        rig.engine.run(until=450.0)
+        assert reaper.stats.sweeps == 4

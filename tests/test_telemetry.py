@@ -1,0 +1,192 @@
+"""Tests for telemetry records, ground truth, collector, and degradation."""
+
+import numpy as np
+import pytest
+
+from repro.panda.job import JobKind
+from repro.rucio.activities import TransferActivity
+from repro.rucio.transfer import TransferEvent
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.degradation import DegradationConfig, MetadataDegrader
+from repro.telemetry.groundtruth import GroundTruth
+from repro.telemetry.records import UNKNOWN_SITE, TransferRecord
+
+from tests.helpers import make_transfer
+
+
+def event(**kw) -> TransferEvent:
+    defaults = dict(
+        transfer_id=kw.pop("transfer_id", 1),
+        lfn="f1", scope="user.x", dataset="ds", proddblock="ds",
+        file_size=1000, source_rse="A_DATADISK", dest_rse="B_DATADISK",
+        source_site="A", destination_site="B",
+        activity=TransferActivity.ANALYSIS_DOWNLOAD,
+        submitted_at=0.0, starttime=1.0, endtime=2.0,
+        pandaid=5, jeditaskid=9,
+    )
+    defaults.update(kw)
+    return TransferEvent(**defaults)
+
+
+class TestTransferRecordProperties:
+    def test_local_requires_known_equal_sites(self):
+        assert make_transfer(src="A", dst="A").is_local
+        assert not make_transfer(src="A", dst="B").is_local
+        assert not make_transfer(src=UNKNOWN_SITE, dst=UNKNOWN_SITE).is_local
+
+    def test_unknown_detection(self):
+        assert make_transfer(dst=UNKNOWN_SITE).has_unknown_site
+        assert make_transfer(src="").has_unknown_site
+        assert not make_transfer().has_unknown_site
+
+    def test_taskid_flag(self):
+        assert make_transfer(jeditaskid=5).has_jeditaskid
+        assert not make_transfer(jeditaskid=0).has_jeditaskid
+
+
+class TestGroundTruth:
+    def test_link_and_lookup(self):
+        gt = GroundTruth()
+        gt.link(10, 5, "A", "B")
+        assert gt.true_job_of(10) == 5
+        assert gt.true_transfers_of(5) == {10}
+        assert gt.true_sites[10] == ("A", "B")
+
+    def test_background_not_indexed_by_job(self):
+        gt = GroundTruth()
+        gt.link(10, 0)
+        assert gt.true_job_of(10) == 0
+        assert gt.n_job_driven_transfers == 0
+
+    def test_double_link_rejected(self):
+        gt = GroundTruth()
+        gt.link(10, 5)
+        with pytest.raises(ValueError):
+            gt.link(10, 6)
+
+    def test_unknown_transfer_returns_zero(self):
+        assert GroundTruth().true_job_of(99) == 0
+
+
+class TestDegradation:
+    def _degrader(self, **cfg_kw) -> MetadataDegrader:
+        cfg = DegradationConfig(**cfg_kw)
+        return MetadataDegrader(cfg, np.random.default_rng(0))
+
+    def test_clean_config_preserves_event(self):
+        d = self._degrader(
+            p_drop_transfer=0.0, p_drop_file=0.0,
+            p_drop_jeditaskid={}, p_unknown_destination={}, p_unknown_source={},
+            p_size_imprecise={}, p_drop_jeditaskid_default=0.0,
+            round_timestamps=False,
+        )
+        ev = event()
+        rec = d.degrade_transfer(ev)
+        assert rec is not None
+        assert rec.file_size == ev.file_size
+        assert rec.destination_site == "B"
+        assert rec.jeditaskid == 9
+        assert rec.row_id == ev.transfer_id
+
+    def test_drop_transfer(self):
+        d = self._degrader(p_drop_transfer=1.0)
+        assert d.degrade_transfer(event()) is None
+
+    def test_unknown_destination(self):
+        d = self._degrader(
+            p_drop_transfer=0.0,
+            p_unknown_destination={TransferActivity.ANALYSIS_DOWNLOAD: 1.0},
+        )
+        rec = d.degrade_transfer(event())
+        assert rec.destination_site == UNKNOWN_SITE
+        assert rec.source_site == "A"
+
+    def test_taskid_dropped(self):
+        d = self._degrader(
+            p_drop_transfer=0.0,
+            p_drop_jeditaskid={TransferActivity.ANALYSIS_DOWNLOAD: 1.0},
+        )
+        assert d.degrade_transfer(event()).jeditaskid == 0
+
+    def test_size_imprecision_changes_size(self):
+        d = self._degrader(
+            p_drop_transfer=0.0,
+            p_size_imprecise={TransferActivity.ANALYSIS_DOWNLOAD: 1.0},
+        )
+        recs = [d.degrade_transfer(event(transfer_id=i)) for i in range(20)]
+        assert all(r.file_size != 1000 for r in recs)
+
+    def test_directio_partial_read_smaller(self):
+        d = self._degrader(
+            p_drop_transfer=0.0,
+            p_size_imprecise={TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO: 1.0},
+        )
+        ev = event(activity=TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO, file_size=10**9)
+        recs = [d.degrade_transfer(event(
+            transfer_id=i, activity=TransferActivity.ANALYSIS_DOWNLOAD_DIRECT_IO,
+            file_size=10**9)) for i in range(10)]
+        assert all(r.file_size < 10**9 for r in recs)
+
+    def test_production_block_rewritten(self):
+        d = self._degrader(p_drop_transfer=0.0)
+        ev = event(activity=TransferActivity.PRODUCTION_UPLOAD, proddblock="ds_sub000")
+        rec = d.degrade_transfer(ev)
+        assert rec.proddblock != "ds_sub000"
+        assert rec.proddblock.startswith("ds")
+
+    def test_analysis_block_untouched(self):
+        d = self._degrader(p_drop_transfer=0.0, p_size_imprecise={})
+        rec = d.degrade_transfer(event())
+        assert rec.proddblock == "ds"
+
+    def test_timestamps_rounded(self):
+        d = self._degrader(p_drop_transfer=0.0, round_timestamps=True)
+        rec = d.degrade_transfer(event(starttime=1.4, endtime=2.6))
+        assert rec.starttime == 1.0 and rec.endtime == 3.0
+
+
+class TestDegradedTelemetryOnStudy:
+    def test_row_ids_unique(self, small_telemetry):
+        ids = [t.row_id for t in small_telemetry.transfers]
+        assert len(ids) == len(set(ids))
+
+    def test_ground_truth_covers_all_records(self, small_telemetry):
+        gt = small_telemetry.ground_truth
+        for t in small_telemetry.transfers:
+            assert t.row_id in gt.transfer_to_job
+
+    def test_job_records_match_jobs(self, small_study, small_telemetry):
+        assert len(small_telemetry.jobs) == small_study.harness.collector.n_jobs
+
+    def test_background_majority_lacks_taskid(self, small_telemetry):
+        frac = small_telemetry.n_transfers_with_taskid / len(small_telemetry.transfers)
+        assert frac < 0.8  # most transfers are unmatched background mass
+
+    def test_file_records_have_types(self, small_telemetry):
+        kinds = {f.ftype for f in small_telemetry.files}
+        assert kinds <= {"input", "output"}
+        assert "input" in kinds
+
+    def test_prodsourcelabel_values(self, small_telemetry):
+        labels = {j.prodsourcelabel for j in small_telemetry.jobs}
+        assert labels <= {"user", "managed"}
+
+    def test_unknown_sites_injected(self, small_telemetry):
+        assert any(t.destination_site == UNKNOWN_SITE for t in small_telemetry.transfers)
+
+
+class TestCollectorWindows:
+    def test_window_filters(self, small_study):
+        c = small_study.harness.collector
+        t0, t1 = small_study.harness.window
+        mid = (t0 + t1) / 2
+        early = c.transfers_in_window(t0, mid)
+        late = c.transfers_in_window(mid, t1)
+        assert len(early) + len(late) <= c.n_transfers
+        assert all(e.starttime < mid for e in early)
+
+    def test_double_done_rejected(self, small_study):
+        c = small_study.harness.collector
+        job = c.completed_jobs[0]
+        with pytest.raises(ValueError):
+            c.on_job_done(job)

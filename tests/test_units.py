@@ -1,0 +1,72 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestBytesToHuman:
+    def test_bytes(self):
+        assert units.bytes_to_human(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert units.bytes_to_human(1500) == "1.50 KB"
+
+    def test_terabytes(self):
+        assert units.bytes_to_human(1.5e12) == "1.50 TB"
+
+    def test_petabytes(self):
+        assert units.bytes_to_human(957.98e15) == "957.98 PB"
+
+    def test_exabyte_threshold(self):
+        assert units.bytes_to_human(1e18) == "1.00 EB"
+
+    def test_negative(self):
+        assert units.bytes_to_human(-2e9) == "-2.00 GB"
+
+    def test_zero(self):
+        assert units.bytes_to_human(0) == "0 B"
+
+
+class TestRates:
+    def test_rate_to_mbps(self):
+        assert units.rate_to_mbps(10e6) == pytest.approx(10.0)
+
+    def test_mbps_round_trip(self):
+        assert units.rate_to_mbps(units.mbps(130.0)) == pytest.approx(130.0)
+
+
+class TestSecondsToHuman:
+    def test_seconds_only(self):
+        assert units.seconds_to_human(42) == "42s"
+
+    def test_minutes(self):
+        assert units.seconds_to_human(90) == "00:01:30"
+
+    def test_days(self):
+        assert units.seconds_to_human(93784) == "1d 02:03:04"
+
+    def test_negative(self):
+        assert units.seconds_to_human(-90) == "-00:01:30"
+
+
+class TestRatioPct:
+    def test_simple(self):
+        assert units.ratio_pct(1, 4) == 25.0
+
+    def test_zero_whole(self):
+        assert units.ratio_pct(5, 0) == 0.0
+
+    def test_paper_headline(self):
+        # 30,380 of 1,585,229 transfers = 1.92%
+        assert units.ratio_pct(30380, 1585229) == pytest.approx(1.9164, abs=1e-3)
+
+
+class TestConstants:
+    def test_decimal_prefixes(self):
+        assert units.PB == 1000 * units.TB
+        assert units.EB == 1000 * units.PB
+
+    def test_time_constants(self):
+        assert units.DAY == 24 * units.HOUR
+        assert units.WEEK == 7 * units.DAY

@@ -1,0 +1,134 @@
+"""Tests for workload profiles, arrivals, and the generator."""
+
+import numpy as np
+import pytest
+
+from repro.panda.job import DataAccessMode, JobKind
+from repro.rucio.activities import TransferActivity
+from repro.workload.arrival import DiurnalPoissonArrivals
+from repro.workload.profiles import ANALYSIS_DEFAULT, PRODUCTION_DEFAULT, WorkloadProfile
+
+
+class TestProfiles:
+    def test_default_mix_sums_to_one(self):
+        assert sum(ANALYSIS_DEFAULT.access_mode_mix.values()) == pytest.approx(1.0)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="bad",
+                access_mode_mix={DataAccessMode.DIRECT_LOCAL: 0.5},
+            )
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", files_per_dataset=(5, 2))
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", jobs_per_task=(0, 2))
+
+    def test_production_always_uploads_direct_local(self):
+        assert PRODUCTION_DEFAULT.upload_probability == 1.0
+        assert PRODUCTION_DEFAULT.access_mode_mix[DataAccessMode.DIRECT_LOCAL] == 1.0
+
+
+class TestArrivals:
+    def test_sorted_within_window(self):
+        arr = DiurnalPoissonArrivals(10.0, np.random.default_rng(0))
+        times = arr.sample(0.0, 86400.0)
+        assert times == sorted(times)
+        assert all(0 <= t < 86400.0 for t in times)
+
+    def test_rate_matches_average(self):
+        arr = DiurnalPoissonArrivals(12.0, np.random.default_rng(1))
+        times = arr.sample(0.0, 30 * 86400.0)
+        per_hour = len(times) / (30 * 24)
+        assert per_hour == pytest.approx(12.0, rel=0.1)
+
+    def test_diurnal_modulation_visible(self):
+        arr = DiurnalPoissonArrivals(30.0, np.random.default_rng(2), amplitude=0.9)
+        times = np.array(arr.sample(0.0, 60 * 86400.0))
+        hours = (times / 3600.0) % 24
+        peak = ((hours > 12) & (hours < 17)).sum()
+        trough = (hours < 5).sum()
+        assert peak > trough * 1.5
+
+    def test_rate_at_bounds(self):
+        arr = DiurnalPoissonArrivals(10.0, np.random.default_rng(0), amplitude=0.5)
+        rates = [arr.rate_at(h * 3600.0) for h in range(24)]
+        assert max(rates) <= 15.0 + 1e-9
+        assert min(rates) >= 5.0 - 1e-9
+
+    def test_empty_window(self):
+        arr = DiurnalPoissonArrivals(10.0, np.random.default_rng(0))
+        assert arr.sample(10.0, 10.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPoissonArrivals(0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            DiurnalPoissonArrivals(1.0, np.random.default_rng(0), amplitude=1.0)
+
+
+class TestGeneratorOnTinyHarness:
+    """The generator drives a real (tiny) harness; structure checks."""
+
+    def test_campaign_produces_jobs_and_transfers(self, tiny_harness):
+        tiny_harness.run()
+        c = tiny_harness.collector
+        assert c.n_jobs > 0
+        assert c.n_transfers > 0
+
+    def test_tasks_registered_for_all_jobs(self, tiny_harness):
+        tiny_harness.run()
+        for job in tiny_harness.collector.completed_jobs:
+            assert job.jeditaskid in tiny_harness.panda.tasks
+
+    def test_job_chunks_partition_dataset(self, tiny_harness):
+        tiny_harness.run()
+        tasks = tiny_harness.panda.tasks
+        catalog = tiny_harness.catalog
+        for task in tasks.values():
+            if not task.jobs or task.input_dataset is None:
+                continue
+            all_files = {f.did for f in catalog.resolve_files(task.input_dataset)}
+            seen = []
+            for j in task.jobs:
+                seen.extend(j.input_file_dids)
+            # chunks are disjoint and within the dataset
+            assert len(seen) == len(set(seen))
+            assert set(seen) <= all_files
+
+    def test_ninputfilebytes_matches_chunk(self, tiny_harness):
+        tiny_harness.run()
+        catalog = tiny_harness.catalog
+        for job in tiny_harness.collector.completed_jobs:
+            if job.input_file_dids:
+                total = sum(catalog.file(fd).size for fd in job.input_file_dids)
+                assert job.ninputfilebytes == total
+
+    def test_production_tasks_direct_local(self, tiny_harness):
+        tiny_harness.run()
+        prod = [j for j in tiny_harness.collector.completed_jobs
+                if j.kind is JobKind.PRODUCTION]
+        assert all(j.access_mode is DataAccessMode.DIRECT_LOCAL for j in prod)
+        assert all(j.uploads_output for j in prod)
+
+    def test_background_transfers_present(self, tiny_harness):
+        tiny_harness.run()
+        acts = {e.activity for e in tiny_harness.collector.transfer_events}
+        background = {TransferActivity.DATA_REBALANCING, TransferActivity.DATA_CONSOLIDATION}
+        assert acts & background
+
+    def test_background_has_no_job_identity(self, tiny_harness):
+        tiny_harness.run()
+        for e in tiny_harness.collector.transfer_events:
+            if not e.activity.is_job_driven:
+                assert e.pandaid == 0
+
+    def test_local_background_dominates(self, tiny_harness):
+        tiny_harness.run()
+        bg = [e for e in tiny_harness.collector.transfer_events
+              if not e.activity.is_job_driven]
+        if len(bg) >= 20:
+            local = sum(1 for e in bg if e.is_local)
+            assert local / len(bg) > 0.5
