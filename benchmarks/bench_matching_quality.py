@@ -10,7 +10,6 @@ monotonically.
 from conftest import write_comparison
 
 from repro.core.matching.evaluation import evaluate_against_truth
-from repro.core.matching.pipeline import MatchingPipeline
 from repro.core.matching.subset import SubsetMatcher
 
 
@@ -21,10 +20,11 @@ def test_matching_quality_vs_truth(benchmark, eightday, eightday_report):
     transfers = eightday.source.transfers_started_in(t0, t1)
 
     # Also score the subset-sum refinement the paper calls NP-hard and
-    # skips (§4.2) — feasible at real candidate-set sizes.
+    # skips (§4.2) — feasible at real candidate-set sizes.  Running it
+    # through the study's shared pipeline reuses the window artifacts
+    # already materialized for the Exact/RM1/RM2 report.
     known = eightday.harness.known_site_names()
-    subset_report = MatchingPipeline(eightday.source, known_sites=known).run(
-        t0, t1, matchers=[SubsetMatcher(known)])
+    subset_report = eightday.pipeline.run(t0, t1, matchers=[SubsetMatcher(known)])
 
     def evaluate_all():
         out = {

@@ -21,13 +21,16 @@ from repro.core.matching.windows import (
 )
 
 
-def test_window_sensitivity(benchmark, eightday):
+def test_window_sensitivity(benchmark, eightday, executor):
     pipeline = MatchingPipeline(
         eightday.source, known_sites=eightday.harness.known_site_names())
     t0, t1 = eightday.harness.window
 
+    # The sweep runs through the --workers executor: plans fan across
+    # processes, and each window's artifacts are materialized once.
     curve = benchmark.pedantic(
-        growing_window_curve, args=(pipeline, t0, t1), kwargs={"n_points": 6},
+        growing_window_curve, args=(pipeline, t0, t1),
+        kwargs={"n_points": 6, "executor": executor},
         rounds=1, iterations=1)
 
     matched = [p.n_matched_jobs for p in curve]
@@ -35,7 +38,8 @@ def test_window_sensitivity(benchmark, eightday):
     sat = saturation_ratio(curve)
     assert sat <= 1.0
 
-    tiles = sliding_window_curve(pipeline, t0, t1, (t1 - t0) / 4)
+    tiles = sliding_window_curve(
+        pipeline, t0, t1, (t1 - t0) / 4, executor=executor)
     tiled_total = sum(p.n_matched_jobs for p in tiles)
     full_total = curve[-1].n_matched_jobs
     assert tiled_total <= full_total

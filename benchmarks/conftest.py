@@ -15,11 +15,30 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
+from repro.exec.executor import Executor, make_executor
 from repro.reporting.export import to_json_file
 from repro.scenarios.eightday import EightDayConfig, EightDayStudy
 from repro.scenarios.threemonth import ThreeMonthConfig, ThreeMonthStudy
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--workers", type=int, default=1, metavar="N",
+        help="processes for executor-driven benchmarks (1 = serial; "
+             "matching output is identical either way)")
+
+
+@pytest.fixture(scope="session")
+def workers(request) -> int:
+    return request.config.getoption("--workers")
+
+
+@pytest.fixture(scope="session")
+def executor(workers) -> Executor:
+    """The scheduling policy selected by ``--workers``."""
+    return make_executor(workers)
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,7 @@ and measure each matcher's precision/recall at every level.
 
 Usage::
 
-    python examples/matching_quality_sweep.py [--days 1.5] [--seed 3]
+    python examples/matching_quality_sweep.py [--days 1.5] [--seed 3] [--workers 4]
 """
 
 from __future__ import annotations
@@ -19,6 +19,7 @@ import argparse
 
 from repro.core.matching.evaluation import evaluate_against_truth
 from repro.core.matching.pipeline import MatchingPipeline
+from repro.exec.executor import make_executor
 from repro.metastore.opensearch import OpenSearchLike
 from repro.reporting.tables import render_table
 from repro.rucio.activities import TransferActivity
@@ -49,7 +50,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--days", type=float, default=1.5)
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for the matching executor")
     args = parser.parse_args()
+    executor = make_executor(args.workers)
 
     print(f"Simulating {args.days:g} days once (seed {args.seed}) ...")
     harness = SimulationHarness(HarnessConfig(
@@ -71,7 +75,8 @@ def main() -> None:
             scaled_config(intensity), harness.rngs.get(f"sweep-{intensity}"))
         telemetry = degrader.degrade(harness.collector, harness.panda.tasks)
         source = OpenSearchLike.from_telemetry(telemetry)
-        report = MatchingPipeline(source, known_sites=known).run(t0, t1)
+        report = MatchingPipeline(source, known_sites=known).run(
+            t0, t1, executor=executor)
         jobs = source.user_jobs_completed_in(t0, t1)
         transfers = source.transfers_started_in(t0, t1)
         for method in report.methods:

@@ -4,6 +4,8 @@
 
 * ``simulate`` — run a campaign, print population statistics;
 * ``match`` — campaign + Exact/RM1/RM2 matching, print Tables 1-2;
+* ``sweep`` — window-sensitivity curve via the (optionally parallel)
+  sweep executor;
 * ``anomalies`` — campaign + anomaly report + mitigation advice;
 * ``growth`` — print the Fig 2 cumulative-volume series;
 * ``ablation`` — locality vs co-optimized brokerage comparison;
@@ -36,6 +38,10 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--days", type=float, default=2.0, help="campaign length (days)")
     p.add_argument("--seed", type=int, default=2025, help="root random seed")
     p.add_argument("--intensity", type=float, default=1.0, help="arrival-rate scale")
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="processes for the matching executor (1 = serial; results "
+             "are identical either way)")
 
 
 def _study(args) -> EightDayStudy:
@@ -62,7 +68,7 @@ def cmd_simulate(args) -> int:
 def cmd_match(args) -> int:
     study = _study(args)
     telemetry = study.telemetry
-    report = study.matching_report()
+    report = study.matching_report(workers=args.workers)
     stats = headline_stats(report)
     print(f"matched transfers : {stats.n_matched_transfers} "
           f"({stats.transfer_match_pct:.2f}% of taskid transfers)")
@@ -81,10 +87,32 @@ def cmd_match(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.core.matching.windows import growing_window_curve, saturation_ratio
+    from repro.exec.executor import make_executor
+
+    study = _study(args)
+    executor = make_executor(args.workers)
+    t0, t1 = study.harness.window
+    curve = growing_window_curve(
+        study.pipeline, t0, t1, n_points=args.points, executor=executor)
+    rows = [
+        [f"{p.length / 86400.0:.2f}", str(p.n_jobs), str(p.n_matched_jobs),
+         f"{p.job_match_rate:.2%}", str(p.n_matched_transfers)]
+        for p in curve
+    ]
+    print(render_table(
+        ["window (days)", "jobs", "matched jobs", "match rate", "matched transfers"],
+        rows))
+    print(f"\nhalf-window saturation: {saturation_ratio(curve):.3f}  "
+          f"(workers={args.workers})")
+    return 0
+
+
 def cmd_anomalies(args) -> int:
     study = _study(args)
     telemetry = study.telemetry
-    matches = study.matching_report()["rm2"].matched_jobs()
+    matches = study.matching_report(workers=args.workers)["rm2"].matched_jobs()
     report = build_anomaly_report(
         matches, telemetry.transfers,
         site_names=study.harness.topology.site_names())
@@ -131,7 +159,7 @@ def cmd_ablation(args) -> int:
 def cmd_export(args) -> int:
     study = _study(args)
     telemetry = study.telemetry
-    report = study.matching_report()
+    report = study.matching_report(workers=args.workers)
     n = rows_to_csv(f"{args.out}/transfers.csv", telemetry.transfers)
     m = rows_to_csv(f"{args.out}/jobs.csv", telemetry.jobs)
     k = rows_to_csv(f"{args.out}/files.csv", telemetry.files)
@@ -157,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, fn, extra in (
         ("simulate", cmd_simulate, None),
         ("match", cmd_match, None),
+        ("sweep", cmd_sweep, "points"),
         ("anomalies", cmd_anomalies, None),
         ("ablation", cmd_ablation, None),
         ("export", cmd_export, "out"),
@@ -165,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
         _add_campaign_args(p)
         if extra == "out":
             p.add_argument("--out", default="repro_export", help="output directory")
+        if extra == "points":
+            p.add_argument("--points", type=int, default=6,
+                           help="growing-window points in the sweep")
         p.set_defaults(fn=fn)
 
     g = sub.add_parser("growth", help="print the Fig 2 volume series")

@@ -150,3 +150,21 @@ def headline_stats(report: MatchingReport, method: str = "exact") -> HeadlineSta
         mean_transfer_pct=mean_transfer_pct(timings),
         geomean_transfer_pct=geomean_transfer_pct(timings),
     )
+
+
+def headline_series(
+    pipeline,
+    plans,
+    method: str = "exact",
+    executor=None,
+) -> List[HeadlineStats]:
+    """§5.1 headline numbers over many windows, one executor sweep.
+
+    Consumes :class:`MatchingReport`\\ s through the pipeline's
+    executor instead of re-running the pipeline per window: the sweep
+    materializes each window's pre-selection once (shared with any
+    other analysis on the same cache) and fans across cores when the
+    executor is parallel.
+    """
+    reports = pipeline.sweep(plans, executor=executor)
+    return [headline_stats(report, method=method) for report in reports]

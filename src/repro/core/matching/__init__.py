@@ -1,14 +1,21 @@
 """Job ↔ transfer matching (Algorithm 1 and relaxed variants)."""
 
-from repro.core.matching.base import JobMatch, MatchResult, TransferClass
+from repro.core.matching.base import (
+    CandidateIndex,
+    JobMatch,
+    MatchResult,
+    MatchingReport,
+    TransferClass,
+)
 from repro.core.matching.exact import ExactMatcher
 from repro.core.matching.rm1 import RM1Matcher
 from repro.core.matching.rm2 import RM2Matcher
 from repro.core.matching.subset import SubsetMatcher
-from repro.core.matching.pipeline import MatchingPipeline, MatchingReport
+from repro.core.matching.pipeline import MatchingPipeline
 from repro.core.matching.evaluation import MatchEvaluation, evaluate_against_truth
 
 __all__ = [
+    "CandidateIndex",
     "JobMatch",
     "MatchResult",
     "TransferClass",

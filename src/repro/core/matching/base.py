@@ -84,8 +84,22 @@ class MatchResult:
         return len(self.matched_transfer_ids())
 
     def matched_pairs(self) -> List[Tuple[int, int]]:
-        """(pandaid, transfer row_id) pairs — the evaluation unit."""
-        return [(m.job.pandaid, t.row_id) for m in self.matches for t in m.transfers]
+        """(pandaid, transfer row_id) pairs — the evaluation unit.
+
+        Deduplicated defensively: a matcher that ever returned the same
+        transfer twice for one job would otherwise inflate every
+        pair-level metric downstream.  First-occurrence order is kept,
+        so serial and parallel execution emit identical lists.
+        """
+        seen: Set[Tuple[int, int]] = set()
+        out: List[Tuple[int, int]] = []
+        for m in self.matches:
+            for t in m.transfers:
+                pair = (m.job.pandaid, t.row_id)
+                if pair not in seen:
+                    seen.add(pair)
+                    out.append(pair)
+        return out
 
     def jobs_by_class(self) -> Dict[TransferClass, int]:
         out = {c: 0 for c in TransferClass}
@@ -109,6 +123,24 @@ class MatchResult:
         return local, remote
 
 
+@dataclass
+class MatchingReport:
+    """All methods over one window, plus the pre-selection sizes."""
+
+    window: Tuple[float, float]
+    n_jobs: int
+    n_transfers: int
+    n_transfers_with_taskid: int
+    results: Dict[str, MatchResult]
+
+    def __getitem__(self, method: str) -> MatchResult:
+        return self.results[method]
+
+    @property
+    def methods(self) -> List[str]:
+        return list(self.results)
+
+
 class CandidateIndex:
     """The jobs → files → transfers hash join of Algorithm 1.
 
@@ -116,11 +148,17 @@ class CandidateIndex:
     :meth:`candidates_for_job` to get T'_j.
     """
 
+    #: Process-wide construction counter.  The artifact cache
+    #: (``repro.exec.artifacts``) exists to keep this from growing with
+    #: the number of matchers × windows; tests assert on it.
+    build_count = 0
+
     def __init__(
         self,
         files: Sequence[FileRecord],
         transfers: Sequence[TransferRecord],
     ) -> None:
+        CandidateIndex.build_count += 1
         # F'_j: file rows grouped by (pandaid, jeditaskid).
         self._files_by_job: Dict[Tuple[int, int], List[FileRecord]] = {}
         for f in files:

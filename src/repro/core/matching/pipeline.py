@@ -5,37 +5,29 @@ events within a common time window through the querying module (jobs
 must *complete* inside the window — still-running jobs are invisible to
 the query), build the candidate join once, then run each matching
 method over the same pre-selection.
+
+Since the plan/execute refactor the pipeline is a thin façade over
+:mod:`repro.exec`: it turns ``run(t0, t1)`` into a
+:class:`~repro.exec.plan.WindowPlan`, materializes it through a shared
+:class:`~repro.exec.artifacts.ArtifactCache` (so repeated runs, window
+sweeps, and multi-method analyses reuse one pre-selection and one
+:class:`~repro.core.matching.base.CandidateIndex`), and hands
+scheduling to an :class:`~repro.exec.executor.Executor` — serial by
+default, process-parallel when the caller passes one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
-from repro.core.matching.base import BaseMatcher, CandidateIndex, MatchResult
-from repro.core.matching.exact import ExactMatcher
-from repro.core.matching.rm1 import RM1Matcher
-from repro.core.matching.rm2 import RM2Matcher
+from repro.core.matching.base import BaseMatcher, MatchingReport
+from repro.exec.artifacts import ArtifactCache, WindowArtifacts
+from repro.exec.executor import Executor, SerialExecutor
+from repro.exec.plan import WindowPlan
 from repro.metastore.opensearch import OpenSearchLike
 from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
 
-
-@dataclass
-class MatchingReport:
-    """All methods over one window, plus the pre-selection sizes."""
-
-    window: tuple[float, float]
-    n_jobs: int
-    n_transfers: int
-    n_transfers_with_taskid: int
-    results: Dict[str, MatchResult]
-
-    def __getitem__(self, method: str) -> MatchResult:
-        return self.results[method]
-
-    @property
-    def methods(self) -> List[str]:
-        return list(self.results)
+__all__ = ["MatchingPipeline", "MatchingReport"]
 
 
 class MatchingPipeline:
@@ -50,6 +42,12 @@ class MatchingPipeline:
     user_jobs_only:
         The paper analyses the user-job population; production jobs can
         be included for ablations.
+    cache:
+        Artifact cache to share with other consumers; a private one is
+        created when omitted.
+    executor:
+        Default scheduling policy for :meth:`run` / :meth:`sweep`; a
+        :class:`SerialExecutor` over ``cache`` when omitted.
     """
 
     def __init__(
@@ -57,12 +55,23 @@ class MatchingPipeline:
         source: OpenSearchLike,
         known_sites: Optional[Set[str]] = None,
         user_jobs_only: bool = True,
+        cache: Optional[ArtifactCache] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.source = source
         self.known_sites = known_sites or set()
         self.user_jobs_only = user_jobs_only
+        self.cache = cache if cache is not None else ArtifactCache(source)
+        self.executor = executor if executor is not None else SerialExecutor(cache=self.cache)
 
-    # -- pre-selection (the common-time-window step of §4.2) ---------------------
+    # -- planning / materialization (the common-time-window step of §4.2) --------
+
+    def plan(self, t0: float, t1: float) -> WindowPlan:
+        return WindowPlan(t0, t1, self.user_jobs_only)
+
+    def artifacts(self, t0: float, t1: float) -> WindowArtifacts:
+        """Materialized pre-selection for one window (cached)."""
+        return self.cache.get(self.plan(t0, t1))
 
     def preselect_jobs(self, t0: float, t1: float) -> List[JobRecord]:
         if self.user_jobs_only:
@@ -73,11 +82,12 @@ class MatchingPipeline:
         return self.source.transfers_started_in(t0, t1)
 
     def preselect_files(self, jobs: Sequence[JobRecord]) -> List[FileRecord]:
-        """File rows of the selected jobs (PanDA side of the join)."""
-        out: List[FileRecord] = []
-        for job in jobs:
-            out.extend(self.source.files_of_job(job.pandaid))
-        return out
+        """File rows of the selected jobs (PanDA side of the join).
+
+        One batched metastore call for the whole job set — the old
+        per-job loop issued one query per job.
+        """
+        return self.source.files_of_jobs([job.pandaid for job in jobs])
 
     # -- execution -------------------------------------------------------------------
 
@@ -86,26 +96,18 @@ class MatchingPipeline:
         t0: float,
         t1: float,
         matchers: Optional[Sequence[BaseMatcher]] = None,
+        executor: Optional[Executor] = None,
     ) -> MatchingReport:
-        jobs = self.preselect_jobs(t0, t1)
-        transfers = self.preselect_transfers(t0, t1)
-        files = self.preselect_files(jobs)
-        index = CandidateIndex(files, transfers)
-        n_with_taskid = sum(1 for t in transfers if t.has_jeditaskid)
+        return self.sweep([self.plan(t0, t1)], matchers=matchers, executor=executor)[0]
 
-        if matchers is None:
-            matchers = [
-                ExactMatcher(self.known_sites),
-                RM1Matcher(self.known_sites),
-                RM2Matcher(self.known_sites),
-            ]
-        results = {
-            m.name: m.run(jobs, index, n_transfers_considered=n_with_taskid) for m in matchers
-        }
-        return MatchingReport(
-            window=(t0, t1),
-            n_jobs=len(jobs),
-            n_transfers=len(transfers),
-            n_transfers_with_taskid=n_with_taskid,
-            results=results,
+    def sweep(
+        self,
+        plans: Sequence[WindowPlan],
+        matchers: Optional[Sequence[BaseMatcher]] = None,
+        executor: Optional[Executor] = None,
+    ) -> List[MatchingReport]:
+        """Execute many plans through the (possibly parallel) executor."""
+        ex = executor if executor is not None else self.executor
+        return ex.execute(
+            self.source, plans, matchers=matchers, known_sites=self.known_sites
         )

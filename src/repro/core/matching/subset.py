@@ -43,6 +43,14 @@ class SubsetMatcher(BaseMatcher):
     def __init__(self, known_sites=None, max_nodes: int = 20_000) -> None:
         super().__init__(known_sites)
         self.max_nodes = int(max_nodes)
+        #: Budget-exhaustion count.  The matcher's filter is otherwise a
+        #: pure function of (job, candidates), so executor workers can
+        #: run pickled copies freely — but this counter is then
+        #: per-process: read it only on serially-run instances, and
+        #: call :meth:`reset_stats` between windows when comparing.
+        self.fallbacks = 0
+
+    def reset_stats(self) -> None:
         self.fallbacks = 0
 
     def match_job(self, job: JobRecord, candidates: List[TransferRecord]) -> List[TransferRecord]:

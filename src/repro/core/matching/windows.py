@@ -16,6 +16,12 @@ Two consequences are measurable:
 
 Both effects guide how an operator should size query windows; the
 functions here quantify them for any source.
+
+Sweeps are expressed as :class:`~repro.exec.plan.WindowPlan` lists and
+executed through the pipeline's executor, so every window's
+pre-selection and candidate join is materialized once (and the whole
+sweep fans across cores when the caller supplies a
+:class:`~repro.exec.executor.ParallelExecutor`).
 """
 
 from __future__ import annotations
@@ -23,9 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.matching.base import BaseMatcher
+from repro.core.matching.base import BaseMatcher, MatchingReport
 from repro.core.matching.exact import ExactMatcher
 from repro.core.matching.pipeline import MatchingPipeline
+from repro.exec.executor import Executor
+from repro.exec.plan import WindowPlan, growing_plans, sliding_plans
 
 
 @dataclass(frozen=True)
@@ -47,33 +55,41 @@ class WindowPoint:
         return self.n_matched_jobs / self.n_jobs if self.n_jobs else 0.0
 
 
+def _sweep_points(
+    pipeline: MatchingPipeline,
+    plans: Sequence[WindowPlan],
+    matcher: Optional[BaseMatcher],
+    executor: Optional[Executor],
+) -> List[WindowPoint]:
+    m = matcher or ExactMatcher(pipeline.known_sites)
+    reports = pipeline.sweep(plans, matchers=[m], executor=executor)
+    out: List[WindowPoint] = []
+    for plan, report in zip(plans, reports):
+        result = report[m.name]
+        out.append(WindowPoint(
+            t0=plan.t0, t1=plan.t1,
+            n_jobs=report.n_jobs,
+            n_matched_jobs=result.n_matched_jobs,
+            n_matched_transfers=result.n_matched_transfers,
+        ))
+    return out
+
+
 def growing_window_curve(
     pipeline: MatchingPipeline,
     t0: float,
     t1: float,
     n_points: int = 6,
     matcher: Optional[BaseMatcher] = None,
+    executor: Optional[Executor] = None,
 ) -> List[WindowPoint]:
     """Coverage as the window grows from t0: the saturation curve.
 
     Every point starts at ``t0`` and extends to a larger fraction of
     [t0, t1]; the last point is the full window.
     """
-    if n_points < 2:
-        raise ValueError("need at least two points")
-    out: List[WindowPoint] = []
-    for k in range(1, n_points + 1):
-        end = t0 + (t1 - t0) * k / n_points
-        m = matcher or ExactMatcher(pipeline.known_sites)
-        report = pipeline.run(t0, end, matchers=[m])
-        result = report[m.name]
-        out.append(WindowPoint(
-            t0=t0, t1=end,
-            n_jobs=report.n_jobs,
-            n_matched_jobs=result.n_matched_jobs,
-            n_matched_transfers=result.n_matched_transfers,
-        ))
-    return out
+    plans = growing_plans(t0, t1, n_points, pipeline.user_jobs_only)
+    return _sweep_points(pipeline, plans, matcher, executor)
 
 
 def sliding_window_curve(
@@ -83,25 +99,21 @@ def sliding_window_curve(
     window_length: float,
     step: Optional[float] = None,
     matcher: Optional[BaseMatcher] = None,
+    executor: Optional[Executor] = None,
 ) -> List[WindowPoint]:
     """Coverage of fixed-length windows sliding across [t0, t1]."""
-    if window_length <= 0:
-        raise ValueError("window_length must be positive")
-    step = step or window_length
-    out: List[WindowPoint] = []
-    start = t0
-    while start + window_length <= t1 + 1e-9:
-        m = matcher or ExactMatcher(pipeline.known_sites)
-        report = pipeline.run(start, start + window_length, matchers=[m])
-        result = report[m.name]
-        out.append(WindowPoint(
-            t0=start, t1=start + window_length,
-            n_jobs=report.n_jobs,
-            n_matched_jobs=result.n_matched_jobs,
-            n_matched_transfers=result.n_matched_transfers,
-        ))
-        start += step
-    return out
+    plans = sliding_plans(t0, t1, window_length, step, pipeline.user_jobs_only)
+    return _sweep_points(pipeline, plans, matcher, executor)
+
+
+def multi_method_sweep(
+    pipeline: MatchingPipeline,
+    plans: Sequence[WindowPlan],
+    matchers: Optional[Sequence[BaseMatcher]] = None,
+    executor: Optional[Executor] = None,
+) -> List[MatchingReport]:
+    """All methods over many windows, one materialization per window."""
+    return pipeline.sweep(plans, matchers=matchers, executor=executor)
 
 
 def saturation_ratio(curve: Sequence[WindowPoint]) -> float:

@@ -1,0 +1,46 @@
+"""Plan/materialize/execute dataplane for the §4.2 analysis workflow.
+
+The three stages, mirroring Rucio's declarative-what / daemon-how
+split:
+
+* :mod:`repro.exec.plan` — :class:`WindowPlan` describes a
+  pre-selection without running it;
+* :mod:`repro.exec.artifacts` — :class:`WindowArtifacts` materializes
+  a plan (jobs, files, transfers, candidate join) once;
+  :class:`ArtifactCache` shares it across matchers, sweeps, and
+  analyses, keyed by the source's data generation;
+* :mod:`repro.exec.executor` — :class:`SerialExecutor` and
+  :class:`ParallelExecutor` turn plans into
+  :class:`~repro.core.matching.base.MatchingReport`\\ s with a
+  deterministic map/reduce, fanning across cores when asked.
+"""
+
+from repro.exec.artifacts import (
+    ArtifactCache,
+    WindowArtifacts,
+    build_report,
+    match_artifacts,
+)
+from repro.exec.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    default_matchers,
+    make_executor,
+)
+from repro.exec.plan import WindowPlan, growing_plans, sliding_plans
+
+__all__ = [
+    "ArtifactCache",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "WindowArtifacts",
+    "WindowPlan",
+    "build_report",
+    "default_matchers",
+    "growing_plans",
+    "make_executor",
+    "match_artifacts",
+    "sliding_plans",
+]

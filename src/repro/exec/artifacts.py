@@ -1,0 +1,147 @@
+"""Materialized window artifacts and their cache.
+
+Materializing a :class:`~repro.exec.plan.WindowPlan` is the expensive
+half of the §4.2 workflow: three metastore queries (jobs, transfers,
+and one *batched* file lookup) plus the Algorithm-1 hash join
+(:class:`~repro.core.matching.base.CandidateIndex`).  Every matcher —
+Exact, RM1, RM2, subset — only ever reads these artifacts, so one
+materialization serves all methods and every analysis that replays the
+same window.
+
+:class:`ArtifactCache` memoizes materializations keyed by
+``(t0, t1, user_jobs_only, source generation)``.  The generation term
+makes invalidation automatic: ingesting new telemetry bumps the store's
+generation, so stale artifacts can never be served.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.matching.base import (
+    BaseMatcher,
+    CandidateIndex,
+    MatchingReport,
+    MatchResult,
+)
+from repro.exec.plan import WindowPlan
+from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
+
+
+def _batched_files(source, pandaids: Sequence[int]) -> List[FileRecord]:
+    """One query for all jobs' file rows; per-job fallback for bare sources."""
+    batched = getattr(source, "files_of_jobs", None)
+    if batched is not None:
+        return batched(pandaids)
+    out: List[FileRecord] = []
+    for pid in pandaids:
+        out.extend(source.files_of_job(pid))
+    return out
+
+
+class WindowArtifacts:
+    """Everything the matchers need for one window, built once."""
+
+    def __init__(
+        self,
+        plan: WindowPlan,
+        generation: int,
+        jobs: List[JobRecord],
+        files: List[FileRecord],
+        transfers: List[TransferRecord],
+    ) -> None:
+        self.plan = plan
+        self.generation = generation
+        self.jobs = jobs
+        self.files = files
+        self.transfers = transfers
+        self.index = CandidateIndex(files, transfers)
+        self.n_transfers_with_taskid = sum(1 for t in transfers if t.has_jeditaskid)
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        return self.plan.window
+
+    @classmethod
+    def materialize(cls, source, plan: WindowPlan) -> "WindowArtifacts":
+        """Run the pre-selection queries and build the candidate join."""
+        generation = getattr(source, "generation", 0)
+        if plan.user_jobs_only:
+            jobs = source.user_jobs_completed_in(plan.t0, plan.t1)
+        else:
+            jobs = source.jobs_completed_in(plan.t0, plan.t1)
+        transfers = source.transfers_started_in(plan.t0, plan.t1)
+        files = _batched_files(source, [j.pandaid for j in jobs])
+        return cls(plan, generation, jobs, files, transfers)
+
+
+def match_artifacts(matcher: BaseMatcher, artifacts: WindowArtifacts) -> MatchResult:
+    """Run one matcher's pure per-job filter over shared artifacts."""
+    return matcher.run(
+        artifacts.jobs,
+        artifacts.index,
+        n_transfers_considered=artifacts.n_transfers_with_taskid,
+    )
+
+
+def build_report(
+    artifacts: WindowArtifacts, matchers: Sequence[BaseMatcher]
+) -> MatchingReport:
+    """All methods over one materialized window."""
+    return MatchingReport(
+        window=artifacts.window,
+        n_jobs=len(artifacts.jobs),
+        n_transfers=len(artifacts.transfers),
+        n_transfers_with_taskid=artifacts.n_transfers_with_taskid,
+        results={m.name: match_artifacts(m, artifacts) for m in matchers},
+    )
+
+
+class ArtifactCache:
+    """Memoized materialization over one source, with LRU bounds.
+
+    A cache is bound to its source; ``get`` keys on the plan plus the
+    source's current generation, evicting entries from older
+    generations eagerly (they can never hit again).
+    """
+
+    def __init__(self, source, max_entries: int = 32) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.source = source
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, WindowArtifacts]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, plan: WindowPlan) -> WindowArtifacts:
+        generation = getattr(self.source, "generation", 0)
+        key = plan.key(generation)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+
+        self.misses += 1
+        # Entries from older generations are dead; drop them all.
+        stale = [k for k in self._entries if k[3] != generation]
+        for k in stale:
+            del self._entries[k]
+
+        artifacts = WindowArtifacts.materialize(self.source, plan)
+        self._entries[key] = artifacts
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return artifacts
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}

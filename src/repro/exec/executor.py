@@ -1,0 +1,200 @@
+"""Executors — the "how" of the plan/execute split.
+
+An executor turns window plans into :class:`MatchingReport`\\ s through
+a map/reduce interface: the *map* phase runs one (plan, matcher) task
+per unit — against a shared :class:`ArtifactCache` serially, or across
+a process pool in parallel — and the *reduce* phase reassembles results
+into per-plan reports **in plan order**, regardless of completion
+order.  That ordering rule is what makes serial and parallel execution
+produce bit-identical ``matched_pairs()``: every task is a pure
+function of (source, plan, matcher), and reduction never looks at
+timing.
+
+Parallel workers each hold their own artifact cache, seeded once per
+pool from a pickled copy of the source; tasks for the same plan are
+chunked together so a window is materialized once per worker, not once
+per matcher.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.matching.base import BaseMatcher, MatchingReport, MatchResult
+from repro.core.matching.exact import ExactMatcher
+from repro.core.matching.rm1 import RM1Matcher
+from repro.core.matching.rm2 import RM2Matcher
+from repro.exec.artifacts import ArtifactCache, build_report, match_artifacts
+from repro.exec.plan import WindowPlan
+
+
+def default_matchers(known_sites=None) -> List[BaseMatcher]:
+    """The paper's method ladder: Exact, RM1, RM2."""
+    known_sites = known_sites or set()
+    return [ExactMatcher(known_sites), RM1Matcher(known_sites), RM2Matcher(known_sites)]
+
+
+class Executor:
+    """Map/reduce over window plans; see :class:`SerialExecutor` and
+    :class:`ParallelExecutor` for the two scheduling policies."""
+
+    #: degree of parallelism (1 for serial)
+    workers: int = 1
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        raise NotImplementedError
+
+    def execute(
+        self,
+        source,
+        plans: Sequence[WindowPlan],
+        matchers: Optional[Sequence[BaseMatcher]] = None,
+        known_sites=None,
+    ) -> List[MatchingReport]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for serial execution)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process execution against one shared artifact cache."""
+
+    def __init__(self, cache: Optional[ArtifactCache] = None) -> None:
+        self.cache = cache
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        return [fn(item) for item in items]
+
+    def _cache_for(self, source) -> ArtifactCache:
+        if self.cache is None or self.cache.source is not source:
+            self.cache = ArtifactCache(source)
+        return self.cache
+
+    def execute(
+        self,
+        source,
+        plans: Sequence[WindowPlan],
+        matchers: Optional[Sequence[BaseMatcher]] = None,
+        known_sites=None,
+    ) -> List[MatchingReport]:
+        matchers = list(matchers) if matchers is not None else default_matchers(known_sites)
+        cache = self._cache_for(source)
+        return [build_report(cache.get(plan), matchers) for plan in plans]
+
+
+# -- process-pool plumbing ----------------------------------------------------
+#
+# Worker state is module-global: the pool initializer deserializes the
+# source once per worker process, and every task then only ships a
+# (plan, matcher) pair.  Caches live per worker, so a worker that runs
+# several matchers over one plan materializes the window once.
+
+_WORKER_CACHE: Optional[ArtifactCache] = None
+
+
+def _worker_init(source) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = ArtifactCache(source)
+
+
+def _worker_task(task: Tuple[WindowPlan, BaseMatcher]):
+    plan, matcher = task
+    assert _WORKER_CACHE is not None, "pool initializer did not run"
+    artifacts = _WORKER_CACHE.get(plan)
+    result = match_artifacts(matcher, artifacts)
+    return (
+        result,
+        len(artifacts.jobs),
+        len(artifacts.transfers),
+        artifacts.n_transfers_with_taskid,
+    )
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution: plans × matchers fanned across cores.
+
+    Determinism: ``ProcessPoolExecutor.map`` yields results in task
+    order, and reduction groups them back per plan positionally, so the
+    output is bit-identical to :class:`SerialExecutor` — completion
+    order never influences it.  Matcher instances are pickled per task;
+    worker-side mutations (e.g. ``SubsetMatcher.fallbacks``) stay in
+    the worker.
+    """
+
+    def __init__(self, workers: Optional[int] = None, mp_context=None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers or os.cpu_count() or 1
+        self._mp_context = mp_context
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        """Generic parallel map; ``fn`` and items must be picklable."""
+        items = list(items)
+        if not items:
+            return []
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(items)), mp_context=self._mp_context
+        ) as pool:
+            return list(pool.map(fn, items))
+
+    def execute(
+        self,
+        source,
+        plans: Sequence[WindowPlan],
+        matchers: Optional[Sequence[BaseMatcher]] = None,
+        known_sites=None,
+    ) -> List[MatchingReport]:
+        matchers = list(matchers) if matchers is not None else default_matchers(known_sites)
+        plans = list(plans)
+        if not plans or not matchers:
+            return SerialExecutor().execute(source, plans, matchers)
+
+        tasks = [(plan, matcher) for plan in plans for matcher in matchers]
+        if len(plans) >= self.workers:
+            # Sweep case: keep one plan's tasks in one chunk so each
+            # window is materialized by exactly one worker.
+            chunksize = len(matchers)
+        else:
+            # Few plans, many matchers: matcher-level parallelism wins
+            # even though several workers materialize the same window.
+            chunksize = 1
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tasks)),
+            mp_context=self._mp_context,
+            initializer=_worker_init,
+            initargs=(source,),
+        ) as pool:
+            partials = list(pool.map(_worker_task, tasks, chunksize=chunksize))
+
+        reports: List[MatchingReport] = []
+        cursor = iter(partials)
+        for plan in plans:
+            results = {}
+            n_jobs = n_transfers = n_taskid = 0
+            for _ in matchers:
+                result, n_jobs, n_transfers, n_taskid = next(cursor)
+                results[result.method] = result
+            reports.append(MatchingReport(
+                window=plan.window,
+                n_jobs=n_jobs,
+                n_transfers=n_transfers,
+                n_transfers_with_taskid=n_taskid,
+                results=results,
+            ))
+        return reports
+
+
+def make_executor(workers: Optional[int] = None) -> Executor:
+    """``--workers`` plumbing: 0/1/None → serial, N>1 → N processes."""
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers=workers)

@@ -10,9 +10,9 @@ for jobs completed in a window and transfers started in a window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
-from repro.metastore.query import Bool, Query, Range, Term
+from repro.metastore.query import Bool, Query, Range, Term, Terms
 from repro.metastore.store import Collection, DocumentStore
 from repro.telemetry.degradation import DegradedTelemetry
 from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
@@ -81,8 +81,22 @@ class OpenSearchLike:
     def files_of_job(self, pandaid: int) -> List[FileRecord]:
         return self.files.search(Term("pandaid", pandaid))
 
+    def files_of_jobs(self, pandaids: Sequence[int]) -> List[FileRecord]:
+        """Batched file lookup: one terms query for a whole job set.
+
+        Replaces the N+1 pattern of calling :meth:`files_of_job` per
+        job during preselection; results come back in storage order,
+        which is deterministic across processes.
+        """
+        return self.files.search(Terms("pandaid", pandaids))
+
     def files_of_task(self, jeditaskid: int) -> List[FileRecord]:
         return self.files.search(Term("jeditaskid", jeditaskid))
+
+    @property
+    def generation(self) -> int:
+        """Data version of the underlying store (cache-invalidation key)."""
+        return self.store.generation
 
     def search(self, collection: str, query: Query, description: str = "") -> SearchResult:
         hits = self.store.collection(collection).search(query)

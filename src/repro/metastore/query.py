@@ -65,6 +65,18 @@ class Range:
             gte=self.gte, lt=self.lt, gt=self.gt, lte=self.lte
         )
 
+    def evaluate_ids(self, collection: _Collection):
+        """Array fast path: doc ids as an ndarray, skipping set construction.
+
+        :meth:`Collection.search` uses this when the whole query is a
+        single range — the dominant preselection pattern (`endtime` /
+        `starttime` windows) — so a window scan costs one sorted-column
+        slice plus one sort instead of a set build over every hit.
+        """
+        return collection.field_index(self.fld).range_ids(
+            gte=self.gte, lt=self.lt, gt=self.gt, lte=self.lte
+        )
+
 
 @dataclass(frozen=True)
 class Exists:

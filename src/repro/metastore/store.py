@@ -10,6 +10,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
+import numpy as np
+
 from repro.metastore.index import FieldIndex
 from repro.metastore.query import Query
 
@@ -31,8 +33,13 @@ class Collection:
         self._docs: List[Any] = []
         self._indices: Dict[str, FieldIndex] = {}
         self._indexed_fields = set(indexed_fields) if indexed_fields else None
+        #: Bumped on every ingest batch; cache layers key materialized
+        #: artifacts on it so stale results can never be served after
+        #: the collection changes.
+        self.generation = 0
 
     def ingest(self, docs: Iterable[Any]) -> int:
+        self.generation += 1
         n = 0
         for doc in docs:
             doc_id = len(self._docs)
@@ -67,6 +74,13 @@ class Collection:
         return self._docs[doc_id]
 
     def search(self, query: Query) -> List[Any]:
+        evaluate_ids = getattr(query, "evaluate_ids", None)
+        if evaluate_ids is not None:
+            # Array fast path (bare range queries): sort the id slice
+            # directly; doc ids are unique per field index, so this is
+            # equivalent to sorted(set(...)).
+            arr = evaluate_ids(self)
+            return [self._docs[i] for i in np.sort(arr)]
         ids = sorted(query.evaluate(self))
         return [self._docs[i] for i in ids]
 
@@ -104,6 +118,15 @@ class DocumentStore:
 
     def names(self) -> List[str]:
         return sorted(self._collections)
+
+    @property
+    def generation(self) -> int:
+        """Monotone data version over all collections.
+
+        Any ingest into any collection changes it, so it is a safe
+        cache key for derived artifacts (see ``repro.exec``).
+        """
+        return sum(col.generation for col in self._collections.values())
 
     def freeze(self) -> None:
         for col in self._collections.values():

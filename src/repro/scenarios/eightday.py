@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.matching.pipeline import MatchingPipeline, MatchingReport
+from repro.exec.executor import Executor, make_executor
 from repro.metastore.opensearch import OpenSearchLike
 from repro.scenarios.runtime import HarnessConfig, SimulationHarness
 from repro.telemetry.degradation import DegradationConfig, DegradedTelemetry
@@ -63,6 +64,7 @@ class EightDayStudy:
         self.config = config or EightDayConfig()
         self.harness = SimulationHarness(self.config.harness_config())
         self._source: Optional[OpenSearchLike] = None
+        self._pipeline: Optional[MatchingPipeline] = None
         self._report: Optional[MatchingReport] = None
 
     def run(self) -> "EightDayStudy":
@@ -79,12 +81,33 @@ class EightDayStudy:
             self._source = OpenSearchLike.from_telemetry(self.telemetry)
         return self._source
 
-    def matching_report(self) -> MatchingReport:
-        """The Exact/RM1/RM2 comparison over the full window (cached)."""
-        if self._report is None:
-            pipeline = MatchingPipeline(
+    @property
+    def pipeline(self) -> MatchingPipeline:
+        """One pipeline (and artifact cache) shared by every analysis.
+
+        Table-1/2 and Fig-5..12 consumers all replay the full window;
+        going through this pipeline means the pre-selection and
+        candidate join are materialized once for all of them.
+        """
+        if self._pipeline is None:
+            self._pipeline = MatchingPipeline(
                 self.source, known_sites=self.harness.known_site_names()
             )
+        return self._pipeline
+
+    def matching_report(
+        self,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+    ) -> MatchingReport:
+        """The Exact/RM1/RM2 comparison over the full window (cached).
+
+        ``workers`` (or an explicit ``executor``) fans the methods
+        across processes; serial and parallel runs produce identical
+        reports, so the cache does not distinguish them.
+        """
+        if self._report is None:
             t0, t1 = self.harness.window
-            self._report = pipeline.run(t0, t1)
+            ex = executor if executor is not None else make_executor(workers)
+            self._report = self.pipeline.run(t0, t1, executor=ex)
         return self._report
