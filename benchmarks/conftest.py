@@ -28,6 +28,12 @@ def pytest_addoption(parser) -> None:
         "--workers", type=int, default=1, metavar="N",
         help="processes for executor-driven benchmarks (1 = serial; "
              "matching output is identical either way)")
+    from repro.exec import DEFAULT_ENGINE, ENGINES
+
+    parser.addoption(
+        "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+        help="matching join engine for executor-driven benchmarks "
+             "(output is identical either way; default %(default)s)")
 
 
 @pytest.fixture(scope="session")
@@ -36,16 +42,21 @@ def workers(request) -> int:
 
 
 @pytest.fixture(scope="session")
-def executor(workers) -> Executor:
-    """The scheduling policy selected by ``--workers``."""
-    return make_executor(workers)
+def engine(request) -> str:
+    return request.config.getoption("--engine")
 
 
 @pytest.fixture(scope="session")
-def eightday() -> EightDayStudy:
+def executor(workers, engine) -> Executor:
+    """The scheduling policy selected by ``--workers`` / ``--engine``."""
+    return make_executor(workers, engine=engine)
+
+
+@pytest.fixture(scope="session")
+def eightday(engine) -> EightDayStudy:
     """The §5 campaign at laptop scale (8 simulated days)."""
     cfg = EightDayConfig(seed=2025, days=8.0)
-    return EightDayStudy(cfg).run()
+    return EightDayStudy(cfg, engine=engine).run()
 
 
 @pytest.fixture(scope="session")

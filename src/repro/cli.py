@@ -35,6 +35,8 @@ from repro.units import EB, bytes_to_human
 
 
 def _add_campaign_args(p: argparse.ArgumentParser) -> None:
+    from repro.exec import DEFAULT_ENGINE, ENGINES
+
     p.add_argument("--days", type=float, default=2.0, help="campaign length (days)")
     p.add_argument("--seed", type=int, default=2025, help="root random seed")
     p.add_argument("--intensity", type=float, default=1.0, help="arrival-rate scale")
@@ -42,12 +44,17 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=1, metavar="N",
         help="processes for the matching executor (1 = serial; results "
              "are identical either way)")
+    p.add_argument(
+        "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+        help="matching join engine: 'columnar' runs the vectorized "
+             "kernels over interned column packs, 'row' the reference "
+             "dict join (identical results; default %(default)s)")
 
 
 def _study(args) -> EightDayStudy:
     cfg = EightDayConfig(seed=args.seed, days=args.days, intensity=args.intensity)
     print(f"simulating {args.days:g} days (seed {args.seed}) ...", file=sys.stderr)
-    return EightDayStudy(cfg).run()
+    return EightDayStudy(cfg, engine=getattr(args, "engine", None)).run()
 
 
 def cmd_simulate(args) -> int:
@@ -92,7 +99,7 @@ def cmd_sweep(args) -> int:
     from repro.exec.executor import make_executor
 
     study = _study(args)
-    executor = make_executor(args.workers)
+    executor = make_executor(args.workers, engine=args.engine)
     t0, t1 = study.harness.window
     curve = growing_window_curve(
         study.pipeline, t0, t1, n_points=args.points, executor=executor)

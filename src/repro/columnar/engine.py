@@ -1,0 +1,345 @@
+"""Vectorized Algorithm-1 kernels over column packs.
+
+:class:`ColumnarIndex` is the structure-of-arrays counterpart of
+:class:`~repro.core.matching.base.CandidateIndex`: it lowers one
+window's records into packs, builds the jobs → files → transfers join
+once as flat candidate arrays, and then runs each matcher's final
+filters (time, site, whole-set size) as NumPy kernels.
+
+Bit-identical output is the contract.  The row engine's ordering rules
+are reproduced exactly:
+
+* jobs are scanned in window order;
+* a job's candidates enumerate its file rows in insertion order, and
+  each file's transfers in insertion order (the join arrays are sorted
+  with *stable* sorts, so equal keys keep their relative order);
+* duplicate candidates are dropped on first occurrence per
+  ``(job, row_id)``, like the row engine's ``seen`` set;
+* integer byte totals are summed exactly (``np.add.at`` on ``int64``),
+  never through float accumulators.
+
+Matchers participate through the template hooks of
+:class:`~repro.core.matching.base.BaseMatcher`: the engine recognizes
+the stock ``site_ok`` implementations (strict, and RM2's
+uncertain-site relaxation) and vectorizes them; a matcher that
+overrides :meth:`~repro.core.matching.base.BaseMatcher.select_job`
+(e.g. :class:`~repro.core.matching.subset.SubsetMatcher`) gets its
+per-job set-level decision invoked on the vectorized candidates.
+Anything else is reported unsupported, and callers fall back to the
+row engine — never silently diverge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnar.interner import StringInterner
+from repro.columnar.packs import WindowColumns
+from repro.core.matching.base import BaseMatcher, JobMatch, MatchResult
+from repro.core.matching.rm2 import RM2Matcher
+from repro.telemetry.records import (
+    UNKNOWN_SITE,
+    FileRecord,
+    JobRecord,
+    TransferRecord,
+)
+
+
+def supports_columnar(matcher: BaseMatcher) -> bool:
+    """Can this matcher's filters be lowered to the vectorized kernels?
+
+    True when the matcher uses the stock candidate filtering — the base
+    ``run``/``match_job``/``time_ok`` template and a recognized
+    ``site_ok`` (strict or RM2's relaxation).  ``select_job`` overrides
+    are fine: they run per job on the vectorized candidates.
+    """
+    cls = type(matcher)
+    return (
+        cls.run is BaseMatcher.run
+        and cls.match_job is BaseMatcher.match_job
+        and cls.time_ok is BaseMatcher.time_ok
+        and (cls.site_ok is BaseMatcher.site_ok or cls.site_ok is RM2Matcher.site_ok)
+    )
+
+
+def _ragged_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(s, s + c)`` for each (start, count) pair."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends, counts)
+    return np.repeat(starts, counts) + offsets
+
+
+def _joint_codes(
+    a: np.ndarray, b: np.ndarray, max_span: int
+) -> Tuple[np.ndarray, np.ndarray, np.int64]:
+    """Order-preserving integer codes over two arrays' joint domain.
+
+    Equal values get equal codes across both arrays, distinct values
+    distinct codes; returns ``(a_codes, b_codes, span)`` with all codes
+    in ``[0, span)`` so a caller can pack ``code * other_span + other``
+    into one int64 key.  Dense domains are just shifted by their
+    minimum (two O(n) scans); a domain wider than ``max_span`` falls
+    back to rank compression over the sorted unique union, whose span
+    is bounded by the element count.
+    """
+    nonempty = [x for x in (a, b) if len(x)]
+    if not nonempty:
+        return a.astype(np.int64), b.astype(np.int64), np.int64(1)
+    lo = min(int(x.min()) for x in nonempty)
+    hi = max(int(x.max()) for x in nonempty)
+    if hi - lo < max_span:
+        return a - lo, b - lo, np.int64(hi - lo + 1)
+    vocab = np.unique(np.concatenate([a, b]))
+    return (
+        np.searchsorted(vocab, a),
+        np.searchsorted(vocab, b),
+        np.int64(len(vocab)),
+    )
+
+
+class ColumnarIndex:
+    """The Algorithm-1 join as flat candidate arrays, built once per window.
+
+    ``cand_job``/``cand_tpos`` enumerate every deduplicated
+    (job, candidate transfer) pair in the row engine's iteration order;
+    each matcher run is then a sequence of masks over these arrays.
+    """
+
+    #: Process-wide construction counter, mirroring
+    #: ``CandidateIndex.build_count``; tests assert the artifact cache
+    #: keeps this from growing with matchers × windows.
+    build_count = 0
+
+    def __init__(
+        self,
+        jobs: Sequence[JobRecord],
+        files: Sequence[FileRecord],
+        transfers: Sequence[TransferRecord],
+        interner: Optional[StringInterner] = None,
+        columns: Optional[WindowColumns] = None,
+    ) -> None:
+        ColumnarIndex.build_count += 1
+        self.jobs = list(jobs)
+        self.files = list(files)
+        self.transfers = list(transfers)
+        # Pre-lowered columns (cut from a source's full-table packs by
+        # the window's id arrays) skip the per-record lowering entirely.
+        self.columns = columns if columns is not None else WindowColumns.lower(
+            self.jobs, self.files, self.transfers, interner
+        )
+        self._build_join()
+        # Masks shared by every matcher over this window, built lazily.
+        self._time_mask: Optional[np.ndarray] = None
+        self._strict_site_mask: Optional[np.ndarray] = None
+
+    # -- join construction -------------------------------------------------------
+
+    def _build_join(self) -> None:
+        jp, fp, tp = self.columns.jobs, self.columns.files, self.columns.transfers
+        n_jobs = len(jp)
+
+        # Transfers reachable by the join: task identity present
+        # (``if t.jeditaskid`` in the row engine — truthiness, not > 0).
+        joinable = np.flatnonzero(tp.jeditaskid != 0)
+
+        # (jeditaskid, lfn_code) -> sorted transfer runs.  Task ids are
+        # code-compressed over the union of both sides so the pair packs
+        # into one int64 key without overflow assumptions on raw ids.
+        lfn_span = np.int64(len(self.columns.interner) + 1)
+        t_task, f_task, _ = _joint_codes(
+            tp.jeditaskid[joinable], fp.jeditaskid, (1 << 62) // int(lfn_span)
+        )
+        t_key = t_task * lfn_span + tp.lfn[joinable]
+        f_key = f_task * lfn_span + fp.lfn
+        order = np.argsort(t_key, kind="stable")  # stable: insertion order in runs
+        sorted_tkey = t_key[order]
+        sorted_tpos = joinable[order]
+
+        # Per file row: the run of transfers sharing its (task, lfn) key.
+        run_lo = np.searchsorted(sorted_tkey, f_key, side="left")
+        run_hi = np.searchsorted(sorted_tkey, f_key, side="right")
+
+        # (pandaid, jeditaskid) -> file groups, probed per job.
+        f_jt, j_jt, jt_span = _joint_codes(fp.jeditaskid, jp.jeditaskid, 1 << 30)
+        f_pid, j_pid, _ = _joint_codes(
+            fp.pandaid, jp.pandaid, (1 << 62) // int(jt_span)
+        )
+        f_group = f_pid * jt_span + f_jt
+        j_group = j_pid * jt_span + j_jt
+        file_order = np.argsort(f_group, kind="stable")
+        sorted_fgroup = f_group[file_order]
+        group_lo = np.searchsorted(sorted_fgroup, j_group, side="left")
+        group_hi = np.searchsorted(sorted_fgroup, j_group, side="right")
+
+        # Expand jobs -> their file rows (insertion order inside groups).
+        files_per_job = group_hi - group_lo
+        entry_job = np.repeat(np.arange(n_jobs, dtype=np.int64), files_per_job)
+        entry_fi = file_order[_ragged_arange(group_lo, files_per_job)]
+
+        # Expand file rows -> their candidate transfer runs.
+        cands_per_entry = run_hi[entry_fi] - run_lo[entry_fi]
+        cand_job = np.repeat(entry_job, cands_per_entry)
+        cand_fi = np.repeat(entry_fi, cands_per_entry)
+        cand_tpos = sorted_tpos[_ragged_arange(run_lo[entry_fi], cands_per_entry)]
+
+        # Attribute equality beyond the (task, lfn) key: dataset,
+        # proddblock, scope, file_size — all int comparisons now.
+        attr_ok = (
+            (tp.dataset[cand_tpos] == fp.dataset[cand_fi])
+            & (tp.proddblock[cand_tpos] == fp.proddblock[cand_fi])
+            & (tp.scope[cand_tpos] == fp.scope[cand_fi])
+            & (tp.size[cand_tpos] == fp.size[cand_fi])
+        )
+        cand_job = cand_job[attr_ok]
+        cand_tpos = cand_tpos[attr_ok]
+
+        # First-occurrence dedup per (job, row_id), like the row
+        # engine's ``seen`` set.  row_id is code-compressed so the pair
+        # packs into int64 even for arbitrary stored ids.
+        rid_code, _, rid_span = _joint_codes(
+            tp.row_id, tp.row_id[:0], (1 << 62) // (n_jobs + 1)
+        )
+        dedup_key = cand_job * rid_span + rid_code[cand_tpos]
+        _, first = np.unique(dedup_key, return_index=True)
+        first.sort()  # restore candidate-enumeration order
+        self.cand_job = cand_job[first]
+        self.cand_tpos = cand_tpos[first]
+
+    # -- shared filter kernels -----------------------------------------------------
+
+    @property
+    def time_mask(self) -> np.ndarray:
+        """Condition (1) per candidate; NaN endtime compares false."""
+        if self._time_mask is None:
+            tp, jp = self.columns.transfers, self.columns.jobs
+            with np.errstate(invalid="ignore"):
+                self._time_mask = (
+                    tp.starttime[self.cand_tpos] < jp.endtime[self.cand_job]
+                )
+        return self._time_mask
+
+    @property
+    def strict_site_mask(self) -> np.ndarray:
+        """Condition (3) per candidate, strict (Exact/RM1) form."""
+        if self._strict_site_mask is None:
+            self._strict_site_mask = self._site_mask(uncertain=None)
+        return self._strict_site_mask
+
+    def _site_mask(self, uncertain: Optional[np.ndarray]) -> np.ndarray:
+        """Download dest / upload source equals the job's site.
+
+        ``uncertain`` is a per-string-code bool vector; when given, an
+        uncertain endpoint label passes (RM2's relaxation).
+        """
+        tp, jp = self.columns.transfers, self.columns.jobs
+        site = jp.site[self.cand_job]
+        src = tp.src[self.cand_tpos]
+        dst = tp.dst[self.cand_tpos]
+        dst_ok = dst == site
+        src_ok = src == site
+        if uncertain is not None:
+            dst_ok = dst_ok | uncertain[dst]
+            src_ok = src_ok | uncertain[src]
+        return np.where(
+            tp.is_download[self.cand_tpos],
+            dst_ok,
+            tp.is_upload[self.cand_tpos] & src_ok,
+        )
+
+    def _uncertain_codes(self, matcher: RM2Matcher) -> np.ndarray:
+        """Vector of ``matcher._site_uncertain`` over the vocabulary.
+
+        Built from the short side: with a known-site list, everything
+        is uncertain except the known sites' codes (empty and
+        ``UNKNOWN_SITE`` labels stay uncertain even when listed); with
+        no list, only those two degenerate labels are uncertain.
+        """
+        interner = self.columns.interner
+        known = matcher.known_sites
+        if known:
+            out = np.ones(len(interner), dtype=bool)
+            for name in known:
+                if name and name != UNKNOWN_SITE:
+                    code = interner.code_of(name)
+                    if code >= 0:
+                        out[code] = False
+        else:
+            out = np.zeros(len(interner), dtype=bool)
+        for name in ("", UNKNOWN_SITE):
+            code = interner.code_of(name)
+            if code >= 0:
+                out[code] = True
+        return out
+
+    # -- per-matcher execution ----------------------------------------------------
+
+    def run(self, matcher: BaseMatcher, n_transfers_considered: int) -> MatchResult:
+        """One matcher's final filters as kernels; row-identical output."""
+        if not supports_columnar(matcher):
+            raise TypeError(
+                f"matcher {matcher.name!r} overrides row predicates the "
+                "columnar engine cannot lower; run it on the row engine"
+            )
+        if type(matcher).site_ok is RM2Matcher.site_ok:
+            site_mask = self._site_mask(self._uncertain_codes(matcher))
+        else:
+            site_mask = self.strict_site_mask
+        kept = self.time_mask & site_mask
+        cand_job = self.cand_job[kept]
+        cand_tpos = self.cand_tpos[kept]
+
+        if type(matcher).select_job is not BaseMatcher.select_job:
+            matches = self._select_per_job(matcher, cand_job, cand_tpos)
+        else:
+            if matcher.use_size_check:
+                tp, jp = self.columns.transfers, self.columns.jobs
+                totals = np.zeros(len(jp), dtype=np.int64)
+                np.add.at(totals, cand_job, tp.size[cand_tpos])
+                size_ok = (totals == jp.nin) | (totals == jp.nout)
+                keep = size_ok[cand_job]
+                cand_job = cand_job[keep]
+                cand_tpos = cand_tpos[keep]
+            take = self.transfers.__getitem__
+            matches = [
+                JobMatch(job=self.jobs[j], transfers=list(map(take, group.tolist())))
+                for j, group in _grouped(cand_job, cand_tpos)
+            ]
+
+        return MatchResult(
+            method=matcher.name,
+            matches=matches,
+            n_jobs_considered=len(self.jobs),
+            n_transfers_considered=n_transfers_considered,
+        )
+
+    def _select_per_job(
+        self, matcher: BaseMatcher, cand_job: np.ndarray, cand_tpos: np.ndarray
+    ) -> List[JobMatch]:
+        """Custom set-level selection (e.g. subset-sum) per candidate group."""
+        matches: List[JobMatch] = []
+        take = self.transfers.__getitem__
+        for j, group in _grouped(cand_job, cand_tpos):
+            job = self.jobs[j]
+            kept = matcher.select_job(job, list(map(take, group.tolist())))
+            if kept:
+                matches.append(JobMatch(job=job, transfers=kept))
+        return matches
+
+
+def _grouped(cand_job: np.ndarray, cand_tpos: np.ndarray):
+    """Yield (job position, transfer positions) per contiguous job run.
+
+    ``cand_job`` is non-decreasing by construction, so runs are exactly
+    the per-job candidate groups, in window job order.
+    """
+    if len(cand_job) == 0:
+        return
+    boundaries = np.flatnonzero(np.diff(cand_job)) + 1
+    starts = np.concatenate(([0], boundaries))
+    for start, group in zip(starts, np.split(cand_tpos, boundaries)):
+        yield int(cand_job[start]), group

@@ -1,0 +1,180 @@
+"""Structure-of-arrays column packs.
+
+A *pack* is the columnar lowering of one record list: one NumPy array
+per field Algorithm 1 touches, with string fields dictionary-encoded
+through a shared :class:`~repro.columnar.interner.StringInterner`.
+Record objects stay the source of truth — packs hold positions into the
+original lists, and match results are assembled back from the records —
+so the lowering is an acceleration structure, never a second schema.
+
+Numeric domains: ids and byte counts must fit ``int64``; timestamps are
+``float64``; a job with no ``endtime`` lowers to ``NaN`` so the strict
+``starttime < endtime`` comparison is vacuously false, exactly like the
+row engine's ``is not None`` guard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.columnar.interner import StringInterner
+from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
+
+
+class _PackRows:
+    """Row-gather support shared by the pack dataclasses."""
+
+    def take(self, rows: np.ndarray):
+        """A new pack holding ``rows`` (NumPy fancy-index per column).
+
+        This is how window packs are cut from full-table packs: the
+        metastore's doc ids double as pack row positions, so a window
+        is one gather per column — no per-record Python work.  ``rows``
+        must be sorted and unique (id arrays from the query layer are),
+        which lets a full-table selection short-circuit to ``self`` —
+        the common case when an analysis replays the whole campaign.
+        """
+        fields = dataclasses.fields(self)
+        if len(rows) == len(getattr(self, fields[0].name)):
+            return self
+        return type(self)(**{f.name: getattr(self, f.name)[rows] for f in fields})
+
+
+@dataclass
+class JobPack(_PackRows):
+    """Columns of a job window (parallel to the source record list)."""
+
+    pandaid: np.ndarray  # int64
+    jeditaskid: np.ndarray  # int64
+    site: np.ndarray  # int64 codes
+    endtime: np.ndarray  # float64, NaN = still running / unknown
+    nin: np.ndarray  # int64 ninputfilebytes
+    nout: np.ndarray  # int64 noutputfilebytes
+
+    def __len__(self) -> int:
+        return len(self.pandaid)
+
+
+@dataclass
+class FilePack(_PackRows):
+    """Columns of the PanDA file rows for one window."""
+
+    pandaid: np.ndarray  # int64
+    jeditaskid: np.ndarray  # int64
+    lfn: np.ndarray  # int64 codes
+    dataset: np.ndarray  # int64 codes
+    proddblock: np.ndarray  # int64 codes
+    scope: np.ndarray  # int64 codes
+    size: np.ndarray  # int64
+
+    def __len__(self) -> int:
+        return len(self.pandaid)
+
+
+@dataclass
+class TransferPack(_PackRows):
+    """Columns of the Rucio transfer events for one window."""
+
+    row_id: np.ndarray  # int64
+    jeditaskid: np.ndarray  # int64 (0 = no task identity)
+    lfn: np.ndarray  # int64 codes
+    dataset: np.ndarray  # int64 codes
+    proddblock: np.ndarray  # int64 codes
+    scope: np.ndarray  # int64 codes
+    size: np.ndarray  # int64
+    src: np.ndarray  # int64 codes
+    dst: np.ndarray  # int64 codes
+    is_download: np.ndarray  # bool
+    is_upload: np.ndarray  # bool
+    starttime: np.ndarray  # float64
+
+    def __len__(self) -> int:
+        return len(self.row_id)
+
+
+def lower_jobs(jobs: Sequence[JobRecord], interner: StringInterner) -> JobPack:
+    return JobPack(
+        pandaid=np.array([j.pandaid for j in jobs], dtype=np.int64),
+        jeditaskid=np.array([j.jeditaskid for j in jobs], dtype=np.int64),
+        site=interner.encode([j.computingsite for j in jobs]),
+        endtime=np.array(
+            [np.nan if j.endtime is None else j.endtime for j in jobs], dtype=np.float64
+        ),
+        nin=np.array([j.ninputfilebytes for j in jobs], dtype=np.int64),
+        nout=np.array([j.noutputfilebytes for j in jobs], dtype=np.int64),
+    )
+
+
+def lower_files(files: Sequence[FileRecord], interner: StringInterner) -> FilePack:
+    return FilePack(
+        pandaid=np.array([f.pandaid for f in files], dtype=np.int64),
+        jeditaskid=np.array([f.jeditaskid for f in files], dtype=np.int64),
+        lfn=interner.encode([f.lfn for f in files]),
+        dataset=interner.encode([f.dataset for f in files]),
+        proddblock=interner.encode([f.proddblock for f in files]),
+        scope=interner.encode([f.scope for f in files]),
+        size=np.array([f.file_size for f in files], dtype=np.int64),
+    )
+
+
+def lower_transfers(
+    transfers: Sequence[TransferRecord], interner: StringInterner
+) -> TransferPack:
+    return TransferPack(
+        row_id=np.array([t.row_id for t in transfers], dtype=np.int64),
+        jeditaskid=np.array([t.jeditaskid for t in transfers], dtype=np.int64),
+        lfn=interner.encode([t.lfn for t in transfers]),
+        dataset=interner.encode([t.dataset for t in transfers]),
+        proddblock=interner.encode([t.proddblock for t in transfers]),
+        scope=interner.encode([t.scope for t in transfers]),
+        size=np.array([t.file_size for t in transfers], dtype=np.int64),
+        src=interner.encode([t.source_site for t in transfers]),
+        dst=interner.encode([t.destination_site for t in transfers]),
+        is_download=np.array([t.is_download for t in transfers], dtype=bool),
+        is_upload=np.array([t.is_upload for t in transfers], dtype=bool),
+        starttime=np.array([t.starttime for t in transfers], dtype=np.float64),
+    )
+
+
+@dataclass
+class WindowColumns:
+    """All three packs of one window, lowered through one interner."""
+
+    interner: StringInterner
+    jobs: JobPack
+    files: FilePack
+    transfers: TransferPack
+
+    @classmethod
+    def lower(
+        cls,
+        jobs: Sequence[JobRecord],
+        files: Sequence[FileRecord],
+        transfers: Sequence[TransferRecord],
+        interner: Optional[StringInterner] = None,
+    ) -> "WindowColumns":
+        it = interner if interner is not None else StringInterner()
+        return cls(
+            interner=it,
+            jobs=lower_jobs(jobs, it),
+            files=lower_files(files, it),
+            transfers=lower_transfers(transfers, it),
+        )
+
+    def take(
+        self,
+        job_rows: np.ndarray,
+        file_rows: np.ndarray,
+        transfer_rows: np.ndarray,
+    ) -> "WindowColumns":
+        """Cut a window's columns out of full-table columns by row ids."""
+        return WindowColumns(
+            interner=self.interner,
+            jobs=self.jobs.take(job_rows),
+            files=self.files.take(file_rows),
+            transfers=self.transfers.take(transfer_rows),
+        )

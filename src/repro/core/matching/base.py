@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
 
@@ -69,6 +69,13 @@ class MatchResult:
     n_jobs_considered: int
     n_transfers_considered: int
 
+    #: Lazily computed transfer-id set; every pair-level metric calls
+    #: :meth:`matched_transfer_ids`, so rebuilding it per access made
+    #: result summarization quadratic-feeling on big windows.
+    _transfer_ids: Optional[FrozenSet[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     def matched_jobs(self) -> List[JobMatch]:
         return [m for m in self.matches if m.transfers]
 
@@ -76,8 +83,12 @@ class MatchResult:
     def n_matched_jobs(self) -> int:
         return len(self.matched_jobs())
 
-    def matched_transfer_ids(self) -> Set[int]:
-        return {t.row_id for m in self.matches for t in m.transfers}
+    def matched_transfer_ids(self) -> FrozenSet[int]:
+        if self._transfer_ids is None:
+            self._transfer_ids = frozenset(
+                t.row_id for m in self.matches for t in m.transfers
+            )
+        return self._transfer_ids
 
     @property
     def n_matched_transfers(self) -> int:
@@ -231,7 +242,22 @@ class BaseMatcher:
 
     def match_job(self, job: JobRecord, candidates: List[TransferRecord]) -> List[TransferRecord]:
         """Final filtering of T'_j for one job."""
-        kept = [t for t in candidates if self.time_ok(t, job) and self.site_ok(t, job)]
+        end = job.endtime
+        if end is None:
+            # Hoisted from time_ok: no candidate can pass condition (1),
+            # so skip the per-candidate loop entirely.
+            return []
+        kept = [t for t in candidates if t.starttime < end and self.site_ok(t, job)]
+        return self.select_job(job, kept)
+
+    def select_job(self, job: JobRecord, kept: List[TransferRecord]) -> List[TransferRecord]:
+        """Set-level decision over the time/site-filtered candidates.
+
+        The default applies the whole-set size rule; matchers that make
+        a different set-level choice (e.g. subset selection) override
+        this instead of :meth:`match_job`, which also lets the columnar
+        engine reuse its vectorized time/site filters for them.
+        """
         if not kept:
             return []
         if self.use_size_check:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set
 
+from repro.columnar import validate_engine
 from repro.core.matching.base import BaseMatcher, MatchingReport
 from repro.exec.artifacts import ArtifactCache, WindowArtifacts
 from repro.exec.executor import Executor, SerialExecutor
@@ -48,6 +49,10 @@ class MatchingPipeline:
     executor:
         Default scheduling policy for :meth:`run` / :meth:`sweep`; a
         :class:`SerialExecutor` over ``cache`` when omitted.
+    engine:
+        Join engine — ``"row"`` (dict join + Python loops) or
+        ``"columnar"`` (interned packs + vectorized kernels, the
+        default).  Output is bit-identical either way.
     """
 
     def __init__(
@@ -57,12 +62,18 @@ class MatchingPipeline:
         user_jobs_only: bool = True,
         cache: Optional[ArtifactCache] = None,
         executor: Optional[Executor] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.source = source
         self.known_sites = known_sites or set()
         self.user_jobs_only = user_jobs_only
-        self.cache = cache if cache is not None else ArtifactCache(source)
-        self.executor = executor if executor is not None else SerialExecutor(cache=self.cache)
+        self.engine = validate_engine(engine) if engine is not None else None
+        self.cache = cache if cache is not None else ArtifactCache(source, engine=engine)
+        self.executor = (
+            executor
+            if executor is not None
+            else SerialExecutor(cache=self.cache, engine=engine)
+        )
 
     # -- planning / materialization (the common-time-window step of §4.2) --------
 
@@ -97,17 +108,25 @@ class MatchingPipeline:
         t1: float,
         matchers: Optional[Sequence[BaseMatcher]] = None,
         executor: Optional[Executor] = None,
+        engine: Optional[str] = None,
     ) -> MatchingReport:
-        return self.sweep([self.plan(t0, t1)], matchers=matchers, executor=executor)[0]
+        return self.sweep(
+            [self.plan(t0, t1)], matchers=matchers, executor=executor, engine=engine
+        )[0]
 
     def sweep(
         self,
         plans: Sequence[WindowPlan],
         matchers: Optional[Sequence[BaseMatcher]] = None,
         executor: Optional[Executor] = None,
+        engine: Optional[str] = None,
     ) -> List[MatchingReport]:
         """Execute many plans through the (possibly parallel) executor."""
         ex = executor if executor is not None else self.executor
         return ex.execute(
-            self.source, plans, matchers=matchers, known_sites=self.known_sites
+            self.source,
+            plans,
+            matchers=matchers,
+            known_sites=self.known_sites,
+            engine=engine or self.engine,
         )

@@ -53,8 +53,14 @@ class SubsetMatcher(BaseMatcher):
     def reset_stats(self) -> None:
         self.fallbacks = 0
 
-    def match_job(self, job: JobRecord, candidates: List[TransferRecord]) -> List[TransferRecord]:
-        kept = [t for t in candidates if self.time_ok(t, job) and self.site_ok(t, job)]
+    def select_job(self, job: JobRecord, kept: List[TransferRecord]) -> List[TransferRecord]:
+        """Subset-sum selection over the time/site-filtered candidates.
+
+        Overriding the set-level hook (rather than :meth:`match_job`)
+        keeps the candidate filtering in one place and lets the
+        columnar engine drive this matcher from its vectorized
+        time/site kernels.
+        """
         if not kept:
             return []
 

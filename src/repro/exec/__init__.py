@@ -13,8 +13,13 @@ split:
   :class:`ParallelExecutor` turn plans into
   :class:`~repro.core.matching.base.MatchingReport`\\ s with a
   deterministic map/reduce, fanning across cores when asked.
+
+Every stage accepts an ``engine`` choice (``"row"`` or ``"columnar"``,
+see :mod:`repro.columnar`); both engines read the same artifacts and
+produce bit-identical reports.
 """
 
+from repro.columnar import DEFAULT_ENGINE, ENGINES, validate_engine
 from repro.exec.artifacts import (
     ArtifactCache,
     WindowArtifacts,
@@ -32,6 +37,8 @@ from repro.exec.plan import WindowPlan, growing_plans, sliding_plans
 
 __all__ = [
     "ArtifactCache",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "Executor",
     "ParallelExecutor",
     "SerialExecutor",
@@ -43,4 +50,5 @@ __all__ = [
     "make_executor",
     "match_artifacts",
     "sliding_plans",
+    "validate_engine",
 ]

@@ -2,11 +2,23 @@
 
 Materializing a :class:`~repro.exec.plan.WindowPlan` is the expensive
 half of the §4.2 workflow: three metastore queries (jobs, transfers,
-and one *batched* file lookup) plus the Algorithm-1 hash join
-(:class:`~repro.core.matching.base.CandidateIndex`).  Every matcher —
-Exact, RM1, RM2, subset — only ever reads these artifacts, so one
-materialization serves all methods and every analysis that replays the
-same window.
+and one *batched* file lookup) plus the Algorithm-1 join.  Every
+matcher — Exact, RM1, RM2, subset — only ever reads these artifacts, so
+one materialization serves all methods and every analysis that replays
+the same window.
+
+Two join engines share the artifacts:
+
+* ``row`` — the dict-based
+  :class:`~repro.core.matching.base.CandidateIndex` plus per-job Python
+  loops (the specification);
+* ``columnar`` — :class:`~repro.columnar.engine.ColumnarIndex`,
+  structure-of-arrays packs with interned strings and vectorized
+  kernels (the default; bit-identical output, property-tested).
+
+Both indexes are built lazily, so an artifacts object only ever pays
+for the engine(s) that actually run over it, and parity tests can run
+both against one pre-selection.
 
 :class:`ArtifactCache` memoizes materializations keyed by
 ``(t0, t1, user_jobs_only, source generation)``.  The generation term
@@ -19,6 +31,16 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.columnar import (
+    DEFAULT_ENGINE,
+    ColumnarIndex,
+    StringInterner,
+    supports_columnar,
+    validate_engine,
+)
+from repro.columnar.packs import WindowColumns
 from repro.core.matching.base import (
     BaseMatcher,
     CandidateIndex,
@@ -50,34 +72,110 @@ class WindowArtifacts:
         jobs: List[JobRecord],
         files: List[FileRecord],
         transfers: List[TransferRecord],
+        engine: Optional[str] = None,
+        interner: Optional[StringInterner] = None,
+        columns: Optional[WindowColumns] = None,
     ) -> None:
         self.plan = plan
         self.generation = generation
         self.jobs = jobs
         self.files = files
         self.transfers = transfers
-        self.index = CandidateIndex(files, transfers)
-        self.n_transfers_with_taskid = sum(1 for t in transfers if t.has_jeditaskid)
+        self.engine = validate_engine(engine or DEFAULT_ENGINE)
+        self.interner = interner
+        self.columns = columns
+        self._index: Optional[CandidateIndex] = None
+        self._columnar: Optional[ColumnarIndex] = None
+        if columns is not None:
+            self.n_transfers_with_taskid = int(
+                np.count_nonzero(columns.transfers.jeditaskid > 0)
+            )
+        else:
+            self.n_transfers_with_taskid = sum(1 for t in transfers if t.has_jeditaskid)
+
+    @property
+    def index(self) -> CandidateIndex:
+        """The row engine's dict join (built on first use)."""
+        if self._index is None:
+            self._index = CandidateIndex(self.files, self.transfers)
+        return self._index
+
+    @property
+    def columnar(self) -> ColumnarIndex:
+        """The columnar engine's packed join (built on first use)."""
+        if self._columnar is None:
+            self._columnar = ColumnarIndex(
+                self.jobs,
+                self.files,
+                self.transfers,
+                interner=self.interner,
+                columns=self.columns,
+            )
+        return self._columnar
 
     @property
     def window(self) -> Tuple[float, float]:
         return self.plan.window
 
     @classmethod
-    def materialize(cls, source, plan: WindowPlan) -> "WindowArtifacts":
-        """Run the pre-selection queries and build the candidate join."""
+    def materialize(
+        cls, source, plan: WindowPlan, engine: Optional[str] = None
+    ) -> "WindowArtifacts":
+        """Run the pre-selection queries; joins are built lazily per engine.
+
+        Sources exposing ``materialize_window`` (the id-array fast path
+        of :class:`~repro.metastore.opensearch.OpenSearchLike`) hand
+        back pre-lowered column packs alongside the record lists; the
+        columnar join then starts from pure NumPy gathers instead of
+        re-lowering the window's records.  The row engine skips that
+        path — it would pay the full-table lowering for nothing.
+        """
         generation = getattr(source, "generation", 0)
+        chosen = validate_engine(engine or DEFAULT_ENGINE)
+        fast = getattr(source, "materialize_window", None)
+        if fast is not None and chosen == "columnar":
+            jobs, files, transfers, columns = fast(plan.t0, plan.t1, plan.user_jobs_only)
+            return cls(
+                plan,
+                generation,
+                jobs,
+                files,
+                transfers,
+                engine=chosen,
+                interner=getattr(source, "interner", None),
+                columns=columns,
+            )
         if plan.user_jobs_only:
             jobs = source.user_jobs_completed_in(plan.t0, plan.t1)
         else:
             jobs = source.jobs_completed_in(plan.t0, plan.t1)
         transfers = source.transfers_started_in(plan.t0, plan.t1)
         files = _batched_files(source, [j.pandaid for j in jobs])
-        return cls(plan, generation, jobs, files, transfers)
+        return cls(
+            plan,
+            generation,
+            jobs,
+            files,
+            transfers,
+            engine=engine,
+            interner=getattr(source, "interner", None),
+        )
 
 
-def match_artifacts(matcher: BaseMatcher, artifacts: WindowArtifacts) -> MatchResult:
-    """Run one matcher's pure per-job filter over shared artifacts."""
+def match_artifacts(
+    matcher: BaseMatcher, artifacts: WindowArtifacts, engine: Optional[str] = None
+) -> MatchResult:
+    """Run one matcher's pure per-job filter over shared artifacts.
+
+    ``engine`` overrides the artifacts' default.  A matcher whose
+    predicates the columnar kernels cannot lower (custom ``site_ok``
+    etc.) silently runs on the row engine — correctness always wins.
+    """
+    chosen = validate_engine(engine or artifacts.engine)
+    if chosen == "columnar" and supports_columnar(matcher):
+        return artifacts.columnar.run(
+            matcher, n_transfers_considered=artifacts.n_transfers_with_taskid
+        )
     return matcher.run(
         artifacts.jobs,
         artifacts.index,
@@ -86,7 +184,9 @@ def match_artifacts(matcher: BaseMatcher, artifacts: WindowArtifacts) -> MatchRe
 
 
 def build_report(
-    artifacts: WindowArtifacts, matchers: Sequence[BaseMatcher]
+    artifacts: WindowArtifacts,
+    matchers: Sequence[BaseMatcher],
+    engine: Optional[str] = None,
 ) -> MatchingReport:
     """All methods over one materialized window."""
     return MatchingReport(
@@ -94,7 +194,7 @@ def build_report(
         n_jobs=len(artifacts.jobs),
         n_transfers=len(artifacts.transfers),
         n_transfers_with_taskid=artifacts.n_transfers_with_taskid,
-        results={m.name: match_artifacts(m, artifacts) for m in matchers},
+        results={m.name: match_artifacts(m, artifacts, engine) for m in matchers},
     )
 
 
@@ -103,14 +203,19 @@ class ArtifactCache:
 
     A cache is bound to its source; ``get`` keys on the plan plus the
     source's current generation, evicting entries from older
-    generations eagerly (they can never hit again).
+    generations eagerly (they can never hit again).  The cache's
+    ``engine`` becomes each materialized artifacts' default engine —
+    both joins stay lazily available either way.
     """
 
-    def __init__(self, source, max_entries: int = 32) -> None:
+    def __init__(
+        self, source, max_entries: int = 32, engine: Optional[str] = None
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.source = source
         self.max_entries = max_entries
+        self.engine = validate_engine(engine or DEFAULT_ENGINE)
         self._entries: "OrderedDict[tuple, WindowArtifacts]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -130,7 +235,7 @@ class ArtifactCache:
         for k in stale:
             del self._entries[k]
 
-        artifacts = WindowArtifacts.materialize(self.source, plan)
+        artifacts = WindowArtifacts.materialize(self.source, plan, engine=self.engine)
         self._entries[key] = artifacts
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)

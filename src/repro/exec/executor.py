@@ -22,6 +22,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.columnar import DEFAULT_ENGINE, validate_engine
 from repro.core.matching.base import BaseMatcher, MatchingReport, MatchResult
 from repro.core.matching.exact import ExactMatcher
 from repro.core.matching.rm1 import RM1Matcher
@@ -43,6 +44,9 @@ class Executor:
     #: degree of parallelism (1 for serial)
     workers: int = 1
 
+    #: join engine for matching tasks (None = DEFAULT_ENGINE)
+    engine: Optional[str] = None
+
     def map(self, fn: Callable, items: Iterable) -> List:
         raise NotImplementedError
 
@@ -52,8 +56,13 @@ class Executor:
         plans: Sequence[WindowPlan],
         matchers: Optional[Sequence[BaseMatcher]] = None,
         known_sites=None,
+        engine: Optional[str] = None,
     ) -> List[MatchingReport]:
         raise NotImplementedError
+
+    def _engine(self, engine: Optional[str]) -> str:
+        """Resolve a per-call engine override against the executor default."""
+        return validate_engine(engine or self.engine or DEFAULT_ENGINE)
 
     def close(self) -> None:
         """Release pooled resources (no-op for serial execution)."""
@@ -68,15 +77,18 @@ class Executor:
 class SerialExecutor(Executor):
     """In-process execution against one shared artifact cache."""
 
-    def __init__(self, cache: Optional[ArtifactCache] = None) -> None:
+    def __init__(
+        self, cache: Optional[ArtifactCache] = None, engine: Optional[str] = None
+    ) -> None:
         self.cache = cache
+        self.engine = validate_engine(engine) if engine is not None else None
 
     def map(self, fn: Callable, items: Iterable) -> List:
         return [fn(item) for item in items]
 
     def _cache_for(self, source) -> ArtifactCache:
         if self.cache is None or self.cache.source is not source:
-            self.cache = ArtifactCache(source)
+            self.cache = ArtifactCache(source, engine=self.engine)
         return self.cache
 
     def execute(
@@ -85,10 +97,12 @@ class SerialExecutor(Executor):
         plans: Sequence[WindowPlan],
         matchers: Optional[Sequence[BaseMatcher]] = None,
         known_sites=None,
+        engine: Optional[str] = None,
     ) -> List[MatchingReport]:
         matchers = list(matchers) if matchers is not None else default_matchers(known_sites)
+        eng = self._engine(engine)
         cache = self._cache_for(source)
-        return [build_report(cache.get(plan), matchers) for plan in plans]
+        return [build_report(cache.get(plan), matchers, engine=eng) for plan in plans]
 
 
 # -- process-pool plumbing ----------------------------------------------------
@@ -101,9 +115,9 @@ class SerialExecutor(Executor):
 _WORKER_CACHE: Optional[ArtifactCache] = None
 
 
-def _worker_init(source) -> None:
+def _worker_init(source, engine: Optional[str] = None) -> None:
     global _WORKER_CACHE
-    _WORKER_CACHE = ArtifactCache(source)
+    _WORKER_CACHE = ArtifactCache(source, engine=engine)
 
 
 def _worker_task(task: Tuple[WindowPlan, BaseMatcher]):
@@ -130,11 +144,17 @@ class ParallelExecutor(Executor):
     the worker.
     """
 
-    def __init__(self, workers: Optional[int] = None, mp_context=None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        mp_context=None,
+        engine: Optional[str] = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers or os.cpu_count() or 1
         self._mp_context = mp_context
+        self.engine = validate_engine(engine) if engine is not None else None
 
     def map(self, fn: Callable, items: Iterable) -> List:
         """Generic parallel map; ``fn`` and items must be picklable."""
@@ -152,11 +172,13 @@ class ParallelExecutor(Executor):
         plans: Sequence[WindowPlan],
         matchers: Optional[Sequence[BaseMatcher]] = None,
         known_sites=None,
+        engine: Optional[str] = None,
     ) -> List[MatchingReport]:
         matchers = list(matchers) if matchers is not None else default_matchers(known_sites)
         plans = list(plans)
+        eng = self._engine(engine)
         if not plans or not matchers:
-            return SerialExecutor().execute(source, plans, matchers)
+            return SerialExecutor(engine=eng).execute(source, plans, matchers)
 
         tasks = [(plan, matcher) for plan in plans for matcher in matchers]
         if len(plans) >= self.workers:
@@ -171,7 +193,7 @@ class ParallelExecutor(Executor):
             max_workers=min(self.workers, len(tasks)),
             mp_context=self._mp_context,
             initializer=_worker_init,
-            initargs=(source,),
+            initargs=(source, eng),
         ) as pool:
             partials = list(pool.map(_worker_task, tasks, chunksize=chunksize))
 
@@ -193,8 +215,11 @@ class ParallelExecutor(Executor):
         return reports
 
 
-def make_executor(workers: Optional[int] = None) -> Executor:
-    """``--workers`` plumbing: 0/1/None → serial, N>1 → N processes."""
+def make_executor(
+    workers: Optional[int] = None, engine: Optional[str] = None
+) -> Executor:
+    """``--workers``/``--engine`` plumbing: 0/1/None → serial, N>1 → N
+    processes; ``engine`` picks the join implementation either way."""
     if workers is None or workers <= 1:
-        return SerialExecutor()
-    return ParallelExecutor(workers=workers)
+        return SerialExecutor(engine=engine)
+    return ParallelExecutor(workers=workers, engine=engine)

@@ -27,25 +27,46 @@ class FieldIndex:
         self._doc_ids: Optional[np.ndarray] = None
         self._values: Optional[np.ndarray] = None
         self._numeric: bool = True
+        #: Set by :meth:`add`, cleared by :meth:`freeze`.  Keeping the
+        #: stale frozen arrays around (instead of dropping them on every
+        #: add) means ingest interleaved with range queries re-sorts the
+        #: column once per batch, not once per query.
+        self._dirty: bool = False
+
+    @staticmethod
+    def _is_numeric(value: Any) -> bool:
+        # bools are ints to isinstance(), but a True/False column is a
+        # flag, not a range-scannable measure — don't sort it as one.
+        return isinstance(
+            value, (int, float, np.integer, np.floating)
+        ) and not isinstance(value, (bool, np.bool_))
 
     def add(self, doc_id: int, value: Any) -> None:
         if value is None:
             return
         self._by_value.setdefault(value, []).append(doc_id)
-        if self._numeric and not isinstance(value, (int, float, np.integer, np.floating)):
+        if self._numeric and not self._is_numeric(value):
             self._numeric = False
-        # invalidate any frozen column
-        self._doc_ids = None
-        self._values = None
+        self._dirty = True
 
     def freeze(self) -> None:
-        """Build the sorted column for range queries (numeric fields only)."""
+        """(Re)build the sorted column for range queries (numeric only).
+
+        No-op when nothing was added since the last freeze, so callers
+        can freeze eagerly per batch without re-sorting clean columns.
+        """
         if not self._numeric or not self._by_value:
+            self._values = None
+            self._doc_ids = None
+            self._dirty = False
+            return
+        if not self._dirty and self._values is not None:
             return
         pairs = [(v, d) for v, docs in self._by_value.items() for d in docs]
         pairs.sort()
         self._values = np.array([p[0] for p in pairs], dtype=float)
         self._doc_ids = np.array([p[1] for p in pairs], dtype=np.int64)
+        self._dirty = False
 
     # -- lookups -------------------------------------------------------------
 
@@ -75,7 +96,7 @@ class FieldIndex:
         """
         if not self._numeric:
             raise TypeError(f"field {self.name!r} is not numeric; range query invalid")
-        if self._values is None:
+        if self._values is None or self._dirty:
             self.freeze()
         if self._values is None:  # empty index
             return np.empty(0, dtype=np.int64)

@@ -73,16 +73,29 @@ class Collection:
     def get(self, doc_id: int) -> Any:
         return self._docs[doc_id]
 
-    def search(self, query: Query) -> List[Any]:
+    def search_ids(self, query: Query) -> np.ndarray:
+        """Matching doc ids in storage order, as an int64 array.
+
+        Bare range queries take the array fast path (sort the sorted-
+        column slice directly; doc ids are unique per field index, so
+        this is equivalent to ``sorted(set(...))``).  Columnar window
+        materialization builds on this: an id array turns per-window
+        column packs into pure NumPy gathers.
+        """
         evaluate_ids = getattr(query, "evaluate_ids", None)
         if evaluate_ids is not None:
-            # Array fast path (bare range queries): sort the id slice
-            # directly; doc ids are unique per field index, so this is
-            # equivalent to sorted(set(...)).
-            arr = evaluate_ids(self)
-            return [self._docs[i] for i in np.sort(arr)]
-        ids = sorted(query.evaluate(self))
-        return [self._docs[i] for i in ids]
+            return np.sort(evaluate_ids(self))
+        ids = query.evaluate(self)
+        arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
+        arr.sort()
+        return arr
+
+    def take(self, ids: np.ndarray) -> List[Any]:
+        """Documents for an id array (storage order preserved)."""
+        return list(map(self._docs.__getitem__, ids.tolist()))
+
+    def search(self, query: Query) -> List[Any]:
+        return self.take(self.search_ids(query))
 
     def count(self, query: Query) -> int:
         return len(query.evaluate(self))

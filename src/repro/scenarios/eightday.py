@@ -58,10 +58,20 @@ class EightDayConfig:
 
 
 class EightDayStudy:
-    """End-to-end §5 reproduction: simulate → degrade → query → match."""
+    """End-to-end §5 reproduction: simulate → degrade → query → match.
 
-    def __init__(self, config: Optional[EightDayConfig] = None) -> None:
+    ``engine`` selects the matching join implementation (``"row"`` or
+    ``"columnar"``); reports are bit-identical either way, so it is a
+    pure performance knob.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EightDayConfig] = None,
+        engine: Optional[str] = None,
+    ) -> None:
         self.config = config or EightDayConfig()
+        self.engine = engine
         self.harness = SimulationHarness(self.config.harness_config())
         self._source: Optional[OpenSearchLike] = None
         self._pipeline: Optional[MatchingPipeline] = None
@@ -91,7 +101,9 @@ class EightDayStudy:
         """
         if self._pipeline is None:
             self._pipeline = MatchingPipeline(
-                self.source, known_sites=self.harness.known_site_names()
+                self.source,
+                known_sites=self.harness.known_site_names(),
+                engine=self.engine,
             )
         return self._pipeline
 
@@ -99,15 +111,17 @@ class EightDayStudy:
         self,
         workers: Optional[int] = None,
         executor: Optional[Executor] = None,
+        engine: Optional[str] = None,
     ) -> MatchingReport:
         """The Exact/RM1/RM2 comparison over the full window (cached).
 
         ``workers`` (or an explicit ``executor``) fans the methods
-        across processes; serial and parallel runs produce identical
+        across processes; ``engine`` overrides the study's join engine.
+        Serial/parallel and row/columnar runs all produce identical
         reports, so the cache does not distinguish them.
         """
         if self._report is None:
             t0, t1 = self.harness.window
             ex = executor if executor is not None else make_executor(workers)
-            self._report = self.pipeline.run(t0, t1, executor=ex)
+            self._report = self.pipeline.run(t0, t1, executor=ex, engine=engine)
         return self._report

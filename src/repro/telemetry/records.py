@@ -7,6 +7,12 @@ Field names mirror the attributes Algorithm 1 joins on: jobs expose
 ``scope``, ``file_size``; transfer records expose the file attributes
 plus sites, activity, direction flags, and timestamps — but **no job
 identifier**, which is the entire reason the matching problem exists.
+
+All three record types are ``slots=True`` dataclasses: at
+millions-of-rows scale the per-record ``__dict__`` dominates both the
+resident size of a window and the cost of pickling record batches to
+executor workers, and slot access is what the row engine's per-candidate
+loops and the columnar engine's lowering spend most of their time on.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from typing import Optional
 UNKNOWN_SITE = "UNKNOWN"
 
 
-@dataclass
+@dataclass(slots=True)
 class JobRecord:
     """One row of PanDA job metadata (as queried from the job archive)."""
 
@@ -53,7 +59,7 @@ class JobRecord:
         return self.status == "finished"
 
 
-@dataclass
+@dataclass(slots=True)
 class FileRecord:
     """One row of PanDA's file table: a file a job consumed or produced."""
 
@@ -67,7 +73,7 @@ class FileRecord:
     ftype: str  # "input" | "output"
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferRecord:
     """One Rucio transfer event, as recorded (possibly degraded).
 

@@ -8,6 +8,7 @@ cache entries must die when the source's data generation changes.
 
 import pytest
 
+from repro.columnar import ColumnarIndex
 from repro.core.matching.base import CandidateIndex, JobMatch, MatchResult
 from repro.core.matching.pipeline import MatchingPipeline
 from repro.core.matching.subset import SubsetMatcher
@@ -71,17 +72,21 @@ class TestArtifactCache:
         assert cache.get(plan) is first
         assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
 
-    def test_cache_eliminates_index_rebuilds(self):
+    @pytest.mark.parametrize("engine,counter", [
+        ("row", CandidateIndex),
+        ("columnar", ColumnarIndex),
+    ])
+    def test_cache_eliminates_index_rebuilds(self, engine, counter):
         """The build-counter requirement: N methods, one join build."""
         source = tiny_source()
-        pipeline = MatchingPipeline(source, known_sites={"SITE-A"})
-        before = CandidateIndex.build_count
+        pipeline = MatchingPipeline(source, known_sites={"SITE-A"}, engine=engine)
+        before = counter.build_count
         pipeline.run(0.0, 10_000.0)  # exact + rm1 + rm2
         pipeline.run(0.0, 10_000.0, matchers=[SubsetMatcher({"SITE-A"})])
         growing_window_curve(pipeline, 0.0, 10_000.0, n_points=2)
         # one build for [0, 10000) shared by all five matcher runs, plus
         # one for the curve's half window [0, 5000).
-        assert CandidateIndex.build_count - before == 2
+        assert counter.build_count - before == 2
 
     def test_generation_change_invalidates(self):
         source = tiny_source()
