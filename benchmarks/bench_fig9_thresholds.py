@@ -13,15 +13,12 @@ overall failure rate.
 
 from conftest import write_comparison
 
-from repro.core.analysis.queuing import timings_for_result
-from repro.core.analysis.thresholds import StatusCombo, threshold_sweep
+from repro.core.analysis.thresholds import StatusCombo, threshold_sweep_result
 
 
-def test_fig9_threshold_sweep(benchmark, eightday_report):
-    timings = timings_for_result(eightday_report["exact"])
-    assert timings
-
-    sweep = benchmark(threshold_sweep, timings)
+def test_fig9_threshold_sweep(benchmark, eightday_report, frame):
+    sweep = benchmark(threshold_sweep_result, eightday_report["exact"], frame=frame)
+    assert sweep.n_jobs
 
     success = sweep.success_fraction()
     assert 0.6 < success < 0.95

@@ -28,12 +28,17 @@ def pytest_addoption(parser) -> None:
         "--workers", type=int, default=1, metavar="N",
         help="processes for executor-driven benchmarks (1 = serial; "
              "matching output is identical either way)")
-    from repro.exec import DEFAULT_ENGINE, ENGINES
+    from repro.exec import DEFAULT_ENGINE, DEFAULT_FRAME, ENGINES, FRAMES
 
     parser.addoption(
         "--engine", choices=ENGINES, default=DEFAULT_ENGINE,
         help="matching join engine for executor-driven benchmarks "
              "(output is identical either way; default %(default)s)")
+    parser.addoption(
+        "--frame", choices=FRAMES, default=DEFAULT_FRAME,
+        help="analysis dataplane: MatchFrame kernels or the reference "
+             "per-record loops (output is identical either way; "
+             "default %(default)s)")
 
 
 @pytest.fixture(scope="session")
@@ -47,16 +52,23 @@ def engine(request) -> str:
 
 
 @pytest.fixture(scope="session")
-def executor(workers, engine) -> Executor:
-    """The scheduling policy selected by ``--workers`` / ``--engine``."""
-    return make_executor(workers, engine=engine)
+def frame(request) -> str:
+    return request.config.getoption("--frame")
 
 
 @pytest.fixture(scope="session")
-def eightday(engine) -> EightDayStudy:
+def executor(workers, engine) -> Executor:
+    """The scheduling policy selected by ``--workers`` / ``--engine``."""
+    ex = make_executor(workers, engine=engine)
+    yield ex
+    ex.close()  # the parallel pool persists across benchmarks until here
+
+
+@pytest.fixture(scope="session")
+def eightday(engine, frame) -> EightDayStudy:
     """The §5 campaign at laptop scale (8 simulated days)."""
     cfg = EightDayConfig(seed=2025, days=8.0)
-    return EightDayStudy(cfg, engine=engine).run()
+    return EightDayStudy(cfg, engine=engine, frame=frame).run()
 
 
 @pytest.fixture(scope="session")

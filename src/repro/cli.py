@@ -4,6 +4,9 @@
 
 * ``simulate`` — run a campaign, print population statistics;
 * ``match`` — campaign + Exact/RM1/RM2 matching, print Tables 1-2;
+* ``analyze`` — the full §5 analysis batch (headline, Fig-9 sweep,
+  temporal profiles, site dashboards), fanned across the persistent
+  worker pool when ``--workers`` > 1;
 * ``sweep`` — window-sensitivity curve via the (optionally parallel)
   sweep executor;
 * ``anomalies`` — campaign + anomaly report + mitigation advice;
@@ -35,7 +38,7 @@ from repro.units import EB, bytes_to_human
 
 
 def _add_campaign_args(p: argparse.ArgumentParser) -> None:
-    from repro.exec import DEFAULT_ENGINE, ENGINES
+    from repro.exec import DEFAULT_ENGINE, DEFAULT_FRAME, ENGINES, FRAMES
 
     p.add_argument("--days", type=float, default=2.0, help="campaign length (days)")
     p.add_argument("--seed", type=int, default=2025, help="root random seed")
@@ -49,12 +52,22 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         help="matching join engine: 'columnar' runs the vectorized "
              "kernels over interned column packs, 'row' the reference "
              "dict join (identical results; default %(default)s)")
+    p.add_argument(
+        "--frame", choices=FRAMES, default=DEFAULT_FRAME,
+        help="analysis dataplane: 'columnar' lowers match results to "
+             "MatchFrame arrays and runs vectorized analyses, 'row' the "
+             "reference per-record loops (identical results; default "
+             "%(default)s)")
 
 
 def _study(args) -> EightDayStudy:
     cfg = EightDayConfig(seed=args.seed, days=args.days, intensity=args.intensity)
     print(f"simulating {args.days:g} days (seed {args.seed}) ...", file=sys.stderr)
-    return EightDayStudy(cfg, engine=getattr(args, "engine", None)).run()
+    return EightDayStudy(
+        cfg,
+        engine=getattr(args, "engine", None),
+        frame=getattr(args, "frame", None),
+    ).run()
 
 
 def cmd_simulate(args) -> int:
@@ -76,21 +89,62 @@ def cmd_match(args) -> int:
     study = _study(args)
     telemetry = study.telemetry
     report = study.matching_report(workers=args.workers)
-    stats = headline_stats(report)
+    stats = headline_stats(report, frame=args.frame)
+    t0, t1 = study.harness.window
+    columns = study.pipeline.artifacts(t0, t1).columns if args.frame == "columnar" else None
     print(f"matched transfers : {stats.n_matched_transfers} "
           f"({stats.transfer_match_pct:.2f}% of taskid transfers)")
     print(f"matched jobs      : {stats.n_matched_jobs} "
           f"({stats.job_match_pct:.2f}% of user jobs)")
     print(f"transfer-time in queue: mean {stats.mean_transfer_pct:.2f}% "
           f"geomean {stats.geomean_transfer_pct:.3f}%\n")
-    print(render_activity_table(activity_breakdown(report["exact"], telemetry.transfers)))
+    print(render_activity_table(
+        activity_breakdown(report["exact"], telemetry.transfers, columns=columns)))
     print()
     print(render_method_tables(
-        method_comparison_transfers(report),
-        method_comparison_jobs(report),
+        method_comparison_transfers(report, frame=args.frame),
+        method_comparison_jobs(report, frame=args.frame),
         report.n_transfers_with_taskid,
         report.n_jobs,
     ))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.core.analysis.sites import hottest_sites
+    from repro.core.analysis.thresholds import StatusCombo
+    from repro.exec import make_executor
+
+    study = _study(args)
+    with make_executor(args.workers, engine=args.engine) as ex:
+        results = study.analyses(executor=ex, frame=args.frame)
+    stats = results["headline"]
+    print(f"matched jobs      : {stats.n_matched_jobs} "
+          f"({stats.job_match_pct:.2f}% of user jobs)")
+    print(f"matched transfers : {stats.n_matched_transfers} "
+          f"({stats.transfer_match_pct:.2f}% of taskid transfers)")
+    print(f"transfer-time in queue: mean {stats.mean_transfer_pct:.2f}% "
+          f"geomean {stats.geomean_transfer_pct:.3f}%\n")
+
+    sweep = results["thresholds"]
+    header = ["status combo"] + [f"<={t:g}%" for t in sweep.thresholds]
+    rows = [[combo.value] + [str(n) for n in sweep.cumulative[combo]]
+            for combo in StatusCombo]
+    print(render_table(header, rows))
+    print(f"\ntop queuing jobs  : {len(results['top_local'])} local, "
+          f"{len(results['top_remote'])} remote")
+
+    volume, submissions = results["volume"], results["submissions"]
+    print(f"transfer volume   : gini {volume.temporal_gini():.3f}  "
+          f"peak/mean {volume.peak_to_mean():.2f}")
+    print(f"job submissions   : gini {submissions.temporal_gini():.3f}  "
+          f"peak/mean {submissions.peak_to_mean():.2f}\n")
+
+    hot = hottest_sites(results["sites"], by="p95_queue", top=5)
+    print(render_table(
+        ["site (by p95 queue)", "jobs", "fail rate", "p95 queue (h)"],
+        [[b.site, str(b.n_jobs), f"{b.failure_rate:.1%}", f"{b.p95_queue / 3600.0:.2f}"]
+         for b in hot]))
     return 0
 
 
@@ -192,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, fn, extra in (
         ("simulate", cmd_simulate, None),
         ("match", cmd_match, None),
+        ("analyze", cmd_analyze, None),
         ("sweep", cmd_sweep, "points"),
         ("anomalies", cmd_anomalies, None),
         ("ablation", cmd_ablation, None),

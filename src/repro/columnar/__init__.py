@@ -7,21 +7,19 @@ dictionary-encoded strings — and reruns Algorithm 1's join and final
 filters as vectorized kernels, producing bit-identical
 ``matched_pairs()`` (property-tested in ``tests/test_columnar.py``).
 
-Engine selection is threaded through ``repro.exec`` and the CLI as
-``--engine {row,columnar}``; see :data:`DEFAULT_ENGINE`.
+Downstream of matching, :mod:`repro.columnar.frame` lowers each match
+result into a :class:`MatchFrame` (per-job arrays + CSR ragged transfer
+mapping) and :mod:`repro.columnar.kernels` supplies the array
+primitives the §5 analyses run on — the *analysis dataplane*, selected
+by ``--frame {row,columnar}`` just like the matching engine is by
+``--engine`` (see :data:`DEFAULT_FRAME`; parity is property-tested in
+``tests/test_analysis_frame.py``).
 """
 
-from repro.columnar.engine import ColumnarIndex, supports_columnar
-from repro.columnar.interner import StringInterner
-from repro.columnar.packs import (
-    FilePack,
-    JobPack,
-    TransferPack,
-    WindowColumns,
-    lower_files,
-    lower_jobs,
-    lower_transfers,
-)
+# Names and validators live above the submodule imports: modules on
+# the frame → matching-base → pipeline import chain pull them from a
+# partially initialized ``repro.columnar``, which only works for
+# bindings that already exist at that point.
 
 #: Recognized engine names, in documentation order.
 ENGINES = ("row", "columnar")
@@ -29,6 +27,13 @@ ENGINES = ("row", "columnar")
 #: The engine used when callers don't choose: columnar, now that the
 #: row-parity property tests gate every release.
 DEFAULT_ENGINE = "columnar"
+
+#: Recognized analysis-dataplane names, mirroring :data:`ENGINES`.
+FRAMES = ("row", "columnar")
+
+#: The analysis dataplane used when callers don't choose: the
+#: MatchFrame kernels, gated by the same bit-identity parity suite.
+DEFAULT_FRAME = "columnar"
 
 
 def validate_engine(engine: str) -> str:
@@ -38,18 +43,76 @@ def validate_engine(engine: str) -> str:
     return engine
 
 
+def validate_frame(frame: str) -> str:
+    """Normalize/validate an analysis-dataplane name."""
+    if frame not in FRAMES:
+        raise ValueError(f"unknown frame {frame!r}; expected one of {FRAMES}")
+    return frame
+
+
+# The engine and frame modules reach back into repro.core (for
+# matcher/JobMatch types), whose own init imports this package — so
+# they load lazily (PEP 562) instead of during package init.  The
+# leaf modules below (interner/kernels/packs) depend only on NumPy
+# and the telemetry records and stay eager.
+_LAZY = {
+    "ColumnarIndex": "engine",
+    "supports_columnar": "engine",
+    "CLASS_ORDER": "frame",
+    "MatchFrame": "frame",
+}
+
+
+def __getattr__(name):
+    modname = _LAZY.get(name)
+    if modname is not None:
+        import importlib
+
+        return getattr(importlib.import_module(f"{__name__}.{modname}"), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+from repro.columnar.interner import StringInterner  # noqa: E402
+from repro.columnar.kernels import (  # noqa: E402
+    bucket_accumulate,
+    first_occurrences,
+    group_boundaries,
+    interval_union_lengths,
+    segmented_cummax,
+)
+from repro.columnar.packs import (  # noqa: E402
+    FilePack,
+    JobPack,
+    TransferPack,
+    WindowColumns,
+    lower_files,
+    lower_jobs,
+    lower_transfers,
+)
+
+
 __all__ = [
+    "CLASS_ORDER",
     "ColumnarIndex",
     "DEFAULT_ENGINE",
+    "DEFAULT_FRAME",
     "ENGINES",
+    "FRAMES",
     "FilePack",
     "JobPack",
+    "MatchFrame",
     "StringInterner",
     "TransferPack",
     "WindowColumns",
+    "bucket_accumulate",
+    "first_occurrences",
+    "group_boundaries",
+    "interval_union_lengths",
     "lower_files",
     "lower_jobs",
     "lower_transfers",
+    "segmented_cummax",
     "supports_columnar",
     "validate_engine",
+    "validate_frame",
 ]

@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.columnar.frame import MatchFrame
 from repro.columnar.interner import StringInterner
 from repro.columnar.packs import WindowColumns
 from repro.core.matching.base import BaseMatcher, JobMatch, MatchResult
@@ -293,6 +294,7 @@ class ColumnarIndex:
         cand_job = self.cand_job[kept]
         cand_tpos = self.cand_tpos[kept]
 
+        frame: Optional[MatchFrame] = None
         if type(matcher).select_job is not BaseMatcher.select_job:
             matches = self._select_per_job(matcher, cand_job, cand_tpos)
         else:
@@ -304,18 +306,26 @@ class ColumnarIndex:
                 keep = size_ok[cand_job]
                 cand_job = cand_job[keep]
                 cand_tpos = cand_tpos[keep]
+            # The final filtered candidate arrays are exactly the
+            # matched ragged mapping — lower them to the analysis frame
+            # here, while they are still in hand (a select_job override
+            # reorders per job, so that path falls back to lazy
+            # row lowering via MatchResult.frame()).
+            frame = MatchFrame.from_candidates(self.columns, cand_job, cand_tpos)
             take = self.transfers.__getitem__
             matches = [
                 JobMatch(job=self.jobs[j], transfers=list(map(take, group.tolist())))
                 for j, group in _grouped(cand_job, cand_tpos)
             ]
 
-        return MatchResult(
+        result = MatchResult(
             method=matcher.name,
             matches=matches,
             n_jobs_considered=len(self.jobs),
             n_transfers_considered=n_transfers_considered,
         )
+        result._frame = frame
+        return result
 
     def _select_per_job(
         self, matcher: BaseMatcher, cand_job: np.ndarray, cand_tpos: np.ndarray

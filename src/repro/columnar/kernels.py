@@ -1,0 +1,148 @@
+"""Vectorized analysis kernels shared by the MatchFrame dataplane.
+
+These are the array primitives the §5 analyses lower to: segmented
+prefix maxima over CSR ragged arrays, the sorted-boundary interval
+union behind the paper's "file transfer time", first-occurrence
+deduplication, and sequential-order bucket accumulation.
+
+Bit-identity with the row implementations is the contract, so every
+kernel reproduces the reference code's *accumulation order*, not just
+its mathematical value:
+
+* merged-run lengths are summed per job with ``np.add.at`` — an
+  unbuffered, in-order accumulation that performs the same sequence of
+  float additions as the row loop's ``total += cur_end - cur_start``;
+* bucket weights use ``np.bincount`` whose inner loop adds weights in
+  input order, like ``buckets[k] += size`` record by record;
+* maxima (``np.maximum.reduceat``, the segmented scan) are exact — no
+  rounding is involved in ``max`` — so run boundaries match the row
+  merge exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def segmented_cummax(values: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+    """Per-segment running maximum (segments = equal ``seg_id`` runs).
+
+    ``seg_id`` must be non-decreasing with each segment contiguous.
+    Hillis-Steele doubling: pass ``k`` combines each position with the
+    value ``2**k`` behind it when both fall in the same segment.  After
+    pass ``k`` position ``i`` covers ``max(values[j..i])`` with
+    ``j = max(segment_start(i), i - 2**k + 1)``, so ``log2(n)`` passes
+    yield the exact per-segment prefix maximum — no Python loop over
+    elements, and ``max`` is exact on floats.
+    """
+    out = values.astype(np.float64, copy=True)
+    n = len(out)
+    shift = 1
+    while shift < n:
+        prev = np.where(seg_id[shift:] == seg_id[:-shift], out[:-shift], -np.inf)
+        np.maximum(out[shift:], prev, out=out[shift:])
+        shift <<= 1
+    return out
+
+
+def interval_union_lengths(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    job_offsets: np.ndarray,
+    t_start: np.ndarray,
+    t_end: np.ndarray,
+) -> np.ndarray:
+    """Per-job union length of transfer intervals clipped to [lo, hi).
+
+    The vectorized counterpart of
+    :func:`repro.panda.harvester.interval_union_length` applied to every
+    job of a CSR ragged layout at once: clip, drop empty clips, sort
+    each job's intervals by ``(start, end)``, split them into merged
+    runs where a start exceeds the running maximum of previous ends,
+    and accumulate ``run_max_end - run_start`` per job **in run order**
+    (``np.add.at``), reproducing the row implementation's float
+    accumulation bit for bit.  ``hi`` may be NaN (job never started):
+    every comparison is then false and the job's total stays 0.0.
+    """
+    n_jobs = len(lo)
+    totals = np.zeros(n_jobs, dtype=np.float64)
+    if len(t_start) == 0 or n_jobs == 0:
+        return totals
+    counts = np.diff(job_offsets)
+    job_of = np.repeat(np.arange(n_jobs, dtype=np.int64), counts)
+    s = np.maximum(t_start, lo[job_of])
+    e = np.minimum(t_end, hi[job_of])
+    with np.errstate(invalid="ignore"):
+        valid = e > s  # NaN bounds and hi <= lo clips both land here
+    if not valid.any():
+        return totals
+    job_of, s, e = job_of[valid], s[valid], e[valid]
+
+    order = np.lexsort((e, s, job_of))
+    job_of, s, e = job_of[order], s[order], e[order]
+
+    run_max = segmented_cummax(e, job_of)
+    first = np.empty(len(job_of), dtype=bool)
+    first[0] = True
+    np.not_equal(job_of[1:], job_of[:-1], out=first[1:])
+    prev_max = np.empty_like(run_max)
+    prev_max[0] = -np.inf
+    prev_max[1:] = run_max[:-1]
+    new_run = first | (s > prev_max)
+
+    run_starts = np.flatnonzero(new_run)
+    run_end = np.maximum.reduceat(e, run_starts)
+    np.add.at(totals, job_of[run_starts], run_end - s[run_starts])
+    return totals
+
+
+def first_occurrences(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(unique_values, first_positions)`` — the dedup the row engine's
+    ``seen``-set loops perform, as one ``np.unique`` pass.
+
+    ``first_positions`` indexes the *first* appearance of each unique
+    value in ``values``' original order, so gathering a companion
+    column at those positions matches "first occurrence wins" exactly.
+    """
+    return np.unique(values, return_index=True)
+
+
+def bucket_accumulate(
+    times: np.ndarray,
+    weights: np.ndarray,
+    t0: float,
+    bucket_seconds: float,
+    n_buckets: int,
+) -> np.ndarray:
+    """``buckets[k] += w`` for ``k = (t - t0) // bucket_seconds``.
+
+    Out-of-range events are dropped; in-range weights accumulate in
+    input order (``np.bincount``'s inner loop), matching the row loops'
+    sequential float additions.  ``np.floor_divide`` on float64 follows
+    Python's ``//`` semantics (fmod-corrected floor), so bucket
+    assignment agrees with ``int((t - t0) // bucket_seconds)`` on the
+    row path.
+    """
+    out = np.zeros(n_buckets, dtype=np.float64)
+    if len(times) == 0:
+        return out
+    k = np.floor_divide(times - t0, bucket_seconds)
+    valid = (k >= 0) & (k < n_buckets)
+    if valid.any():
+        out += np.bincount(
+            k[valid].astype(np.int64),
+            weights=np.asarray(weights, dtype=np.float64)[valid],
+            minlength=n_buckets,
+        )
+    return out
+
+
+def group_boundaries(sorted_ids: np.ndarray) -> np.ndarray:
+    """Start positions of each run of equal ids (non-decreasing input)."""
+    if len(sorted_ids) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_ids)) + 1)
+    ).astype(np.int64)

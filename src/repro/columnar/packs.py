@@ -1,8 +1,12 @@
 """Structure-of-arrays column packs.
 
 A *pack* is the columnar lowering of one record list: one NumPy array
-per field Algorithm 1 touches, with string fields dictionary-encoded
-through a shared :class:`~repro.columnar.interner.StringInterner`.
+per field Algorithm 1 or the §5 analyses touch, with string fields
+dictionary-encoded through a shared
+:class:`~repro.columnar.interner.StringInterner`.  Beyond the join
+attributes, jobs carry their lifecycle timestamps and status codes and
+transfers their end times and activity codes, so the analysis dataplane
+(:mod:`repro.columnar.frame`) can run entirely on the same lowering.
 Record objects stay the source of truth — packs hold positions into the
 original lists, and match results are assembled back from the records —
 so the lowering is an acceleration structure, never a second schema.
@@ -54,6 +58,10 @@ class JobPack(_PackRows):
     endtime: np.ndarray  # float64, NaN = still running / unknown
     nin: np.ndarray  # int64 ninputfilebytes
     nout: np.ndarray  # int64 noutputfilebytes
+    status: np.ndarray  # int64 codes
+    taskstatus: np.ndarray  # int64 codes
+    creation: np.ndarray  # float64
+    start: np.ndarray  # float64, NaN = never started
 
     def __len__(self) -> int:
         return len(self.pandaid)
@@ -91,6 +99,8 @@ class TransferPack(_PackRows):
     is_download: np.ndarray  # bool
     is_upload: np.ndarray  # bool
     starttime: np.ndarray  # float64
+    endtime: np.ndarray  # float64
+    activity: np.ndarray  # int64 codes
 
     def __len__(self) -> int:
         return len(self.row_id)
@@ -106,6 +116,13 @@ def lower_jobs(jobs: Sequence[JobRecord], interner: StringInterner) -> JobPack:
         ),
         nin=np.array([j.ninputfilebytes for j in jobs], dtype=np.int64),
         nout=np.array([j.noutputfilebytes for j in jobs], dtype=np.int64),
+        status=interner.encode([j.status for j in jobs]),
+        taskstatus=interner.encode([j.taskstatus for j in jobs]),
+        creation=np.array([j.creationtime for j in jobs], dtype=np.float64),
+        start=np.array(
+            [np.nan if j.starttime is None else j.starttime for j in jobs],
+            dtype=np.float64,
+        ),
     )
 
 
@@ -137,6 +154,8 @@ def lower_transfers(
         is_download=np.array([t.is_download for t in transfers], dtype=bool),
         is_upload=np.array([t.is_upload for t in transfers], dtype=bool),
         starttime=np.array([t.starttime for t in transfers], dtype=np.float64),
+        endtime=np.array([t.endtime for t in transfers], dtype=np.float64),
+        activity=interner.encode([t.activity for t in transfers]),
     )
 
 

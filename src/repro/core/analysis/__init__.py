@@ -15,7 +15,9 @@ Each module maps to specific paper exhibits:
 
 from repro.core.analysis.queuing import (
     JobTransferTiming,
+    TimingTable,
     compute_timing,
+    timing_table,
     timings_for_result,
     top_jobs_breakdown,
 )
@@ -28,7 +30,11 @@ from repro.core.analysis.summary import (
 )
 from repro.core.analysis.bandwidth import BandwidthSeries, bandwidth_series, busiest_links
 from repro.core.analysis.matrix import TransferMatrix, build_transfer_matrix
-from repro.core.analysis.thresholds import StatusCombo, threshold_sweep
+from repro.core.analysis.thresholds import (
+    StatusCombo,
+    threshold_sweep,
+    threshold_sweep_result,
+)
 from repro.core.analysis.timeline import JobTimeline, build_timeline
 from repro.core.analysis.errors import (
     ErrorFamily,
@@ -46,7 +52,9 @@ from repro.core.analysis.temporal import (
 
 __all__ = [
     "JobTransferTiming",
+    "TimingTable",
     "compute_timing",
+    "timing_table",
     "timings_for_result",
     "top_jobs_breakdown",
     "ActivityRow",
@@ -61,6 +69,7 @@ __all__ = [
     "build_transfer_matrix",
     "StatusCombo",
     "threshold_sweep",
+    "threshold_sweep_result",
     "JobTimeline",
     "build_timeline",
     "ErrorFamily",

@@ -11,6 +11,7 @@ vectorised over bucket arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -29,9 +30,14 @@ class BandwidthSeries:
     #: bytes moved per bucket (len = n buckets)
     bytes_per_bucket: np.ndarray
 
-    @property
+    @cached_property
     def mbps(self) -> np.ndarray:
-        """Per-bucket mean rate in the paper's MBps."""
+        """Per-bucket mean rate in the paper's MBps.
+
+        Cached: ``peak_mbps``/``mean_mbps``/``active_buckets``/
+        ``fluctuation`` all derive from it, and each used to redo the
+        division over the whole series on every access.
+        """
         return self.bytes_per_bucket / self.bucket_seconds / MB
 
     @property

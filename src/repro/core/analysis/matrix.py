@@ -9,10 +9,11 @@ source or destination" exactly as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.columnar.packs import WindowColumns
 from repro.telemetry.records import UNKNOWN_SITE, TransferRecord
 
 
@@ -96,12 +97,15 @@ class TransferMatrix:
 def build_transfer_matrix(
     transfers: Sequence[TransferRecord],
     site_names: Sequence[str],
+    columns: Optional[WindowColumns] = None,
 ) -> TransferMatrix:
     """Accumulate transfer volumes into the site matrix.
 
     ``site_names`` must include ``UNKNOWN`` to receive mislabelled
     endpoints; records naming sites outside the list are folded into
-    UNKNOWN as well (invalid labels, §4.3).
+    UNKNOWN as well (invalid labels, §4.3).  With ``columns`` (packs
+    parallel to ``transfers``), the per-record dict lookups become one
+    code → matrix-index table gather over the interned site columns.
     """
     names = list(site_names)
     index: Dict[str, int] = {n: i for i, n in enumerate(names)}
@@ -109,21 +113,32 @@ def build_transfer_matrix(
         raise ValueError("site_names must include the UNKNOWN pseudo-site")
     unk = index[UNKNOWN_SITE]
     n = len(names)
-    if not transfers:
+    if not transfers and (columns is None or len(columns.transfers) == 0):
         return TransferMatrix(site_names=names, volume=np.zeros((n, n)))
     # Vectorised accumulation: map each record to a flat (src*n + dst)
     # cell id and bincount the byte weights — O(records) with no Python
     # arithmetic in the loop body beyond the dict lookups.
-    src = np.fromiter(
-        (index.get(t.source_site, unk) for t in transfers), dtype=np.int64,
-        count=len(transfers),
-    )
-    dst = np.fromiter(
-        (index.get(t.destination_site, unk) for t in transfers), dtype=np.int64,
-        count=len(transfers),
-    )
-    sizes = np.fromiter(
-        (t.file_size for t in transfers), dtype=np.float64, count=len(transfers),
-    )
+    if columns is not None:
+        tp, it = columns.transfers, columns.interner
+        lut = np.full(len(it), unk, dtype=np.int64)
+        for name, i in index.items():
+            code = it.code_of(name)
+            if code >= 0:
+                lut[code] = i
+        src = lut[tp.src]
+        dst = lut[tp.dst]
+        sizes = tp.size.astype(np.float64)
+    else:
+        src = np.fromiter(
+            (index.get(t.source_site, unk) for t in transfers), dtype=np.int64,
+            count=len(transfers),
+        )
+        dst = np.fromiter(
+            (index.get(t.destination_site, unk) for t in transfers), dtype=np.int64,
+            count=len(transfers),
+        )
+        sizes = np.fromiter(
+            (t.file_size for t in transfers), dtype=np.float64, count=len(transfers),
+        )
     flat = np.bincount(src * n + dst, weights=sizes, minlength=n * n)
     return TransferMatrix(site_names=names, volume=flat.reshape(n, n))

@@ -4,6 +4,16 @@
 job's queuing time phase in which at least one associated file was
 actively transferring" — i.e. the length of the union of the matched
 transfers' intervals clipped to [creation, start-of-execution].
+
+Two implementations share this module.  The row path
+(:func:`compute_timing` over ``JobMatch`` objects) is the reference;
+the columnar path lowers the result's :class:`MatchFrame` into a
+:class:`TimingTable` — every per-job breakdown as parallel arrays, with
+the interval unions computed by one sorted-boundary sweep over the CSR
+ragged mapping (:func:`repro.columnar.kernels.interval_union_lengths`).
+Both produce bit-identical numbers; ``tests/test_analysis_frame.py``
+property-tests the equality.  :func:`timings_for_result` dispatches on
+the ``frame`` name (default :data:`repro.columnar.DEFAULT_FRAME`).
 """
 
 from __future__ import annotations
@@ -13,6 +23,9 @@ from typing import List, Literal, Optional, Sequence
 
 import numpy as np
 
+from repro.columnar import DEFAULT_FRAME, validate_frame
+from repro.columnar.frame import CLASS_ORDER, MatchFrame
+from repro.columnar.kernels import interval_union_lengths
 from repro.core.matching.base import JobMatch, MatchResult, TransferClass
 from repro.panda.harvester import interval_union_length
 
@@ -68,7 +81,135 @@ def compute_timing(match: JobMatch) -> Optional[JobTransferTiming]:
     )
 
 
-def timings_for_result(result: MatchResult) -> List[JobTransferTiming]:
+@dataclass
+class TimingTable:
+    """The Fig 5/6/9 per-job breakdown as parallel arrays (started jobs).
+
+    One row per matched job that started execution, in match order —
+    the columnar counterpart of the ``JobTransferTiming`` list, used
+    directly by the vectorized threshold sweep and headline statistics
+    and materialized to row dataclasses only on demand (:meth:`rows`).
+    """
+
+    interner: "object"  # StringInterner (status/taskstatus codes)
+    pandaid: np.ndarray  # int64
+    status: np.ndarray  # int64 codes
+    taskstatus: np.ndarray  # int64 codes
+    queuing_time: np.ndarray  # float64
+    transfer_time: np.ndarray  # float64
+    transfer_bytes: np.ndarray  # int64
+    n_transfers: np.ndarray  # int64
+    class_code: np.ndarray  # int64, position into CLASS_ORDER
+    transfer_pct: np.ndarray  # float64
+
+    def __len__(self) -> int:
+        return len(self.pandaid)
+
+    @classmethod
+    def from_frame(cls, frame: MatchFrame) -> "TimingTable":
+        """Lower every timing row at once from the match frame.
+
+        The per-job interval unions — the row path's dominant cost —
+        become one sweep over the frame's ragged transfer arrays; jobs
+        that never started (NaN ``start``) are dropped afterwards,
+        mirroring ``compute_timing``'s ``None``.
+        """
+        union = interval_union_lengths(
+            frame.creation, frame.start, frame.job_offsets, frame.t_start, frame.t_end
+        )
+        started = ~np.isnan(frame.start)
+        qt = (frame.start - frame.creation)[started]
+        tt = union[started]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pct = np.where(qt > 0, (100.0 * tt) / qt, 0.0)
+        return cls(
+            interner=frame.interner,
+            pandaid=frame.pandaid[started],
+            status=frame.status[started],
+            taskstatus=frame.taskstatus[started],
+            queuing_time=qt,
+            transfer_time=tt,
+            transfer_bytes=frame.transfer_bytes[started],
+            n_transfers=frame.n_transfers[started],
+            class_code=frame.class_code[started],
+            transfer_pct=pct,
+        )
+
+    def rows(self) -> List[JobTransferTiming]:
+        """Materialize the per-row dataclasses (the thin row view)."""
+        decode = self.interner.decode
+        return [
+            JobTransferTiming(
+                pandaid=pid,
+                status=decode(st),
+                taskstatus=decode(ts),
+                queuing_time=qt,
+                transfer_time=tt,
+                transfer_bytes=tb,
+                transfer_class=CLASS_ORDER[cc],
+                n_transfers=nt,
+            )
+            for pid, st, ts, qt, tt, tb, cc, nt in zip(
+                self.pandaid.tolist(),
+                self.status.tolist(),
+                self.taskstatus.tolist(),
+                self.queuing_time.tolist(),
+                self.transfer_time.tolist(),
+                self.transfer_bytes.tolist(),
+                self.class_code.tolist(),
+                self.n_transfers.tolist(),
+            )
+        ]
+
+    def top_jobs(
+        self,
+        locality: Literal["local", "remote"],
+        min_transfer_pct: float = 10.0,
+        top: int = 40,
+    ) -> List[JobTransferTiming]:
+        """Vectorized :func:`top_jobs_breakdown` over the table."""
+        wanted = 0 if locality == "local" else 1  # CLASS_ORDER positions
+        eligible = np.flatnonzero(
+            (self.class_code == wanted) & (self.transfer_pct >= min_transfer_pct)
+        )
+        order = np.argsort(-self.queuing_time[eligible], kind="stable")
+        chosen = eligible[order[:top]]
+        decode = self.interner.decode
+        return [
+            JobTransferTiming(
+                pandaid=int(self.pandaid[i]),
+                status=decode(int(self.status[i])),
+                taskstatus=decode(int(self.taskstatus[i])),
+                queuing_time=float(self.queuing_time[i]),
+                transfer_time=float(self.transfer_time[i]),
+                transfer_bytes=int(self.transfer_bytes[i]),
+                transfer_class=CLASS_ORDER[int(self.class_code[i])],
+                n_transfers=int(self.n_transfers[i]),
+            )
+            for i in chosen.tolist()
+        ]
+
+
+def timing_table(result: MatchResult) -> TimingTable:
+    """The result's timing table, cached on its match frame."""
+    frame = result.frame()
+    if frame._timing is None:
+        frame._timing = TimingTable.from_frame(frame)
+    return frame._timing
+
+
+def timings_for_result(
+    result: MatchResult, frame: Optional[str] = None
+) -> List[JobTransferTiming]:
+    """Fig 5/6 rows for one result, via the chosen analysis dataplane.
+
+    ``frame`` is ``"row"`` (reference loop over ``JobMatch`` objects)
+    or ``"columnar"`` (lower once to the :class:`TimingTable`, then
+    materialize); ``None`` picks :data:`repro.columnar.DEFAULT_FRAME`.
+    """
+    choice = validate_frame(frame) if frame is not None else DEFAULT_FRAME
+    if choice == "columnar":
+        return timing_table(result).rows()
     out = []
     for m in result.matched_jobs():
         t = compute_timing(m)
@@ -95,34 +236,56 @@ def top_jobs_breakdown(
     return eligible[:top]
 
 
-def mean_transfer_pct(timings: Sequence[JobTransferTiming]) -> float:
-    """Arithmetic mean of the transfer-time percentages (§5.1's 8.43%)."""
-    if not timings:
+def mean_transfer_pct(timings) -> float:
+    """Arithmetic mean of the transfer-time percentages (§5.1's 8.43%).
+
+    Accepts a timings sequence or a :class:`TimingTable`.
+    """
+    pcts = _pct_values(timings)
+    if len(pcts) == 0:
         return 0.0
-    return float(np.mean([t.transfer_pct for t in timings]))
+    return float(np.mean(pcts))
 
 
-def geomean_transfer_pct(timings: Sequence[JobTransferTiming], floor: float = 1e-3) -> float:
+def geomean_transfer_pct(timings, floor: float = 1e-3) -> float:
     """Geometric mean (§5.1's 1.942%); zero percentages are floored so
     the geomean stays defined, matching the paper's strictly positive
-    report."""
-    if not timings:
+    report.  Accepts a timings sequence or a :class:`TimingTable`."""
+    pcts = _pct_values(timings)
+    if len(pcts) == 0:
         return 0.0
-    vals = np.maximum([t.transfer_pct for t in timings], floor)
+    vals = np.maximum(pcts, floor)
     return float(np.exp(np.mean(np.log(vals))))
 
 
-def correlation_size_vs_time(timings: Sequence[JobTransferTiming]) -> float:
+def correlation_size_vs_time(timings) -> float:
     """Pearson correlation between transferred bytes and queuing time.
 
     The paper "found no significant correlation between total transfer
     size and either queuing time or file transfer time" (Fig 5
-    discussion); the Fig-5 benchmark asserts this stays weak.
+    discussion); the Fig-5 benchmark asserts this stays weak.  Accepts
+    a timings sequence or a :class:`TimingTable`.
     """
-    if len(timings) < 3:
+    if isinstance(timings, TimingTable):
+        x = timings.transfer_bytes.astype(float)
+        y = timings.queuing_time.astype(float)
+    else:
+        x = np.array([t.transfer_bytes for t in timings], dtype=float)
+        y = np.array([t.queuing_time for t in timings], dtype=float)
+    if len(x) < 3:
         return 0.0
-    x = np.array([t.transfer_bytes for t in timings], dtype=float)
-    y = np.array([t.queuing_time for t in timings], dtype=float)
     if x.std() == 0 or y.std() == 0:
         return 0.0
     return float(np.corrcoef(x, y)[0, 1])
+
+
+def _pct_values(timings) -> np.ndarray:
+    """Transfer percentages as one float64 array, from either shape.
+
+    ``np.mean`` and friends see identical values in identical order
+    whether the floats come from the table's array or from a list of
+    ``JobTransferTiming.transfer_pct`` — the bit-identity hinge.
+    """
+    if isinstance(timings, TimingTable):
+        return timings.transfer_pct
+    return np.array([t.transfer_pct for t in timings], dtype=np.float64)

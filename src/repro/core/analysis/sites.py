@@ -10,10 +10,12 @@ imbalance, shifted error patterns) into actionable per-site facts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.columnar.kernels import group_boundaries
+from repro.columnar.packs import WindowColumns
 from repro.core.analysis.errors import ErrorFamily, ErrorMix, error_mix
 from repro.telemetry.records import JobRecord, TransferRecord, UNKNOWN_SITE
 
@@ -57,8 +59,19 @@ class SiteDashboard:
 def build_dashboards(
     jobs: Sequence[JobRecord],
     transfers: Sequence[TransferRecord],
+    columns: Optional[WindowColumns] = None,
 ) -> Dict[str, SiteDashboard]:
-    """One pass over both record sets; returns site -> dashboard."""
+    """One pass over both record sets; returns site -> dashboard.
+
+    With ``columns`` (packs parallel to the record lists), the counts
+    and byte totals come from bincounts/``np.add.at`` over site codes
+    — identical values in identical dict insertion order, so even
+    tie-breaking in :func:`hottest_sites` is unchanged.  Error mixes
+    still walk the per-site job records (they inspect error codes the
+    packs don't carry), grouped by one stable argsort.
+    """
+    if columns is not None:
+        return _build_dashboards_columnar(jobs, transfers, columns)
     boards: Dict[str, SiteDashboard] = {}
 
     def board(site: str) -> SiteDashboard:
@@ -90,6 +103,92 @@ def build_dashboards(
             board(src).bytes_out += t.file_size
             board(dst).bytes_in += t.file_size
 
+    return boards
+
+
+def _build_dashboards_columnar(
+    jobs: Sequence[JobRecord],
+    transfers: Sequence[TransferRecord],
+    columns: WindowColumns,
+) -> Dict[str, SiteDashboard]:
+    jp, tp, it = columns.jobs, columns.transfers, columns.interner
+    # Canonical site codes: the empty label folds into UNKNOWN (the
+    # reference's ``site or UNKNOWN_SITE``).  When UNKNOWN itself was
+    # never interned, a synthetic code one past the vocabulary stands
+    # in for it.
+    unk = it.code_of(UNKNOWN_SITE)
+    synthetic_unk = unk < 0
+    if synthetic_unk:
+        unk = len(it)
+    empty = it.code_of("")
+
+    def canon(codes: np.ndarray) -> np.ndarray:
+        return np.where(codes == empty, unk, codes) if empty >= 0 else codes
+
+    j_site = canon(jp.site)
+    t_src = canon(tp.src)
+    t_dst = canon(tp.dst)
+
+    # Reproduce the reference's dict insertion order: jobs first, then
+    # each transfer's source before its destination.  (A local transfer
+    # only touches its source board, but since src == dst there, the
+    # interleaved sequence has the same first appearances.)
+    pair = np.stack([t_src, t_dst], axis=1).ravel() if len(t_src) else t_src
+    seq = np.concatenate([j_site, pair])
+    uniq, first_pos = np.unique(seq, return_index=True)
+    site_codes = uniq[np.argsort(first_pos)]
+    n_sites = len(site_codes)
+    lut = np.full(unk + 1 if synthetic_unk else len(it), -1, dtype=np.int64)
+    lut[site_codes] = np.arange(n_sites, dtype=np.int64)
+
+    j_idx = lut[j_site]
+    n_jobs = np.bincount(j_idx, minlength=n_sites) if len(j_idx) else np.zeros(n_sites, np.int64)
+    failed = jp.status != it.code_of("finished")
+    n_failed = (
+        np.bincount(j_idx[failed], minlength=n_sites)
+        if failed.any()
+        else np.zeros(n_sites, np.int64)
+    )
+
+    bytes_in = np.zeros(n_sites, dtype=np.float64)
+    bytes_out = np.zeros(n_sites, dtype=np.float64)
+    bytes_local = np.zeros(n_sites, dtype=np.float64)
+    if len(t_src):
+        local = t_src == t_dst
+        sizes = tp.size
+        np.add.at(bytes_local, lut[t_src[local]], sizes[local])
+        np.add.at(bytes_out, lut[t_src[~local]], sizes[~local])
+        np.add.at(bytes_in, lut[t_dst[~local]], sizes[~local])
+
+    started = ~np.isnan(jp.start)
+    queue = jp.start - jp.creation
+
+    # Per-site job groups in record order (stable argsort), for the
+    # queue-time lists and the error mixes.
+    order = np.argsort(j_idx, kind="stable")
+    starts = group_boundaries(j_idx[order])
+    groups: Dict[int, np.ndarray] = {}
+    for i, lo in enumerate(starts.tolist()):
+        hi = starts[i + 1] if i + 1 < len(starts) else len(order)
+        members = order[lo:int(hi)]
+        groups[int(j_idx[members[0]])] = members
+
+    boards: Dict[str, SiteDashboard] = {}
+    for k, code in enumerate(site_codes.tolist()):
+        name = UNKNOWN_SITE if (synthetic_unk and code == unk) else it.decode(code)
+        board = SiteDashboard(
+            site=name,
+            n_jobs=int(n_jobs[k]),
+            n_failed=int(n_failed[k]),
+            bytes_in=float(bytes_in[k]),
+            bytes_out=float(bytes_out[k]),
+            bytes_local=float(bytes_local[k]),
+        )
+        members = groups.get(k)
+        if members is not None:
+            board.queue_times = queue[members[started[members]]].tolist()
+            board.error_mix = error_mix([jobs[i] for i in members.tolist()])
+        boards[name] = board
     return boards
 
 

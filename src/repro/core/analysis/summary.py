@@ -1,13 +1,29 @@
-"""Matching summaries: Table 1, Table 2, and the §5.1 headline numbers."""
+"""Matching summaries: Table 1, Table 2, and the §5.1 headline numbers.
+
+Every function here has a row path (reference loops over records and
+``JobMatch`` objects) and a columnar path over the result's
+:class:`~repro.columnar.frame.MatchFrame` / the window's
+:class:`~repro.columnar.packs.WindowColumns` — integer counting either
+way, so the outputs are identical, not merely close.  The ``frame``
+keyword picks the dataplane (default
+:data:`repro.columnar.DEFAULT_FRAME`); Table 1 additionally takes the
+window's ``columns`` because its totals run over *all* transfers, not
+just matched ones.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
+from repro.columnar import DEFAULT_FRAME, validate_frame
+from repro.columnar.packs import WindowColumns
 from repro.core.analysis.queuing import (
     geomean_transfer_pct,
     mean_transfer_pct,
+    timing_table,
     timings_for_result,
 )
 from repro.core.matching.base import MatchResult, TransferClass
@@ -15,6 +31,10 @@ from repro.core.matching.pipeline import MatchingReport
 from repro.rucio.activities import TABLE1_ORDER, TransferActivity
 from repro.telemetry.records import TransferRecord
 from repro.units import ratio_pct
+
+
+def _resolve(frame: Optional[str]) -> str:
+    return validate_frame(frame) if frame is not None else DEFAULT_FRAME
 
 
 @dataclass(frozen=True)
@@ -31,9 +51,19 @@ class ActivityRow:
 
 
 def activity_breakdown(
-    result: MatchResult, transfers: Sequence[TransferRecord]
+    result: MatchResult,
+    transfers: Sequence[TransferRecord],
+    columns: Optional[WindowColumns] = None,
 ) -> List[ActivityRow]:
-    """Table 1: matched vs total transfers (with jeditaskid) per activity."""
+    """Table 1: matched vs total transfers (with jeditaskid) per activity.
+
+    With ``columns`` (the window's pre-lowered packs, parallel to
+    ``transfers``), the tallies are two bincounts over activity codes
+    plus one sorted-membership test against the frame's matched row
+    ids; otherwise the reference per-record loop runs.
+    """
+    if columns is not None:
+        return _activity_breakdown_columnar(result, columns)
     matched_ids = result.matched_transfer_ids()
     totals: Dict[str, int] = {}
     matched: Dict[str, int] = {}
@@ -53,6 +83,47 @@ def activity_breakdown(
     named = {a.value for a in TABLE1_ORDER}
     other_total = sum(n for act, n in totals.items() if act not in named)
     other_matched = sum(n for act, n in matched.items() if act not in named)
+    if other_total:
+        rows.append(ActivityRow(activity="Other", matched=other_matched, total=other_total))
+    rows.append(
+        ActivityRow(
+            activity="Total",
+            matched=sum(r.matched for r in rows),
+            total=sum(r.total for r in rows),
+        )
+    )
+    return rows
+
+
+def _activity_breakdown_columnar(
+    result: MatchResult, columns: WindowColumns
+) -> List[ActivityRow]:
+    tp, it = columns.transfers, columns.interner
+    with_task = tp.jeditaskid > 0
+    acts = tp.activity[with_task]
+    vocab = len(it)
+    totals = np.bincount(acts, minlength=vocab) if len(acts) else np.zeros(vocab, np.int64)
+    is_matched = np.isin(tp.row_id[with_task], result.frame().matched_row_ids())
+    matched = (
+        np.bincount(acts[is_matched], minlength=vocab)
+        if is_matched.any()
+        else np.zeros(vocab, np.int64)
+    )
+    rows = []
+    named_codes = []
+    for a in TABLE1_ORDER:
+        code = it.code_of(a.value)
+        if code >= 0:
+            named_codes.append(code)
+        rows.append(
+            ActivityRow(
+                activity=a.value,
+                matched=int(matched[code]) if code >= 0 else 0,
+                total=int(totals[code]) if code >= 0 else 0,
+            )
+        )
+    other_total = int(totals.sum()) - sum(int(totals[c]) for c in named_codes)
+    other_matched = int(matched.sum()) - sum(int(matched[c]) for c in named_codes)
     if other_total:
         rows.append(ActivityRow(activity="Other", matched=other_matched, total=other_total))
     rows.append(
@@ -92,20 +163,30 @@ class MethodJobRow:
         return self.all_local + self.all_remote + self.mixed
 
 
-def method_comparison_transfers(report: MatchingReport) -> List[MethodTransferRow]:
+def method_comparison_transfers(
+    report: MatchingReport, frame: Optional[str] = None
+) -> List[MethodTransferRow]:
     """Table 2a: matched transfer counts by method and locality."""
+    columnar = _resolve(frame) == "columnar"
     rows = []
     for method in report.methods:
-        local, remote = report[method].local_remote_split()
+        result = report[method]
+        local, remote = (
+            result.frame().local_remote_split() if columnar else result.local_remote_split()
+        )
         rows.append(MethodTransferRow(method=method, local=local, remote=remote))
     return rows
 
 
-def method_comparison_jobs(report: MatchingReport) -> List[MethodJobRow]:
+def method_comparison_jobs(
+    report: MatchingReport, frame: Optional[str] = None
+) -> List[MethodJobRow]:
     """Table 2b: matched job counts by method and transfer class."""
+    columnar = _resolve(frame) == "columnar"
     rows = []
     for method in report.methods:
-        by_class = report[method].jobs_by_class()
+        result = report[method]
+        by_class = result.frame().jobs_by_class() if columnar else result.jobs_by_class()
         rows.append(
             MethodJobRow(
                 method=method,
@@ -138,15 +219,26 @@ class HeadlineStats:
         return ratio_pct(self.n_matched_transfers, self.n_transfers_with_taskid)
 
 
-def headline_stats(report: MatchingReport, method: str = "exact") -> HeadlineStats:
+def headline_stats(
+    report: MatchingReport, method: str = "exact", frame: Optional[str] = None
+) -> HeadlineStats:
     result = report[method]
-    timings = timings_for_result(result)
+    if _resolve(frame) == "columnar":
+        f = result.frame()
+        table = timing_table(result)
+        n_matched_jobs = len(f)
+        n_matched_transfers = f.n_matched_transfers
+        timings = table
+    else:
+        n_matched_jobs = result.n_matched_jobs
+        n_matched_transfers = result.n_matched_transfers
+        timings = timings_for_result(result, frame="row")
     return HeadlineStats(
         n_jobs=report.n_jobs,
         n_transfers=report.n_transfers,
         n_transfers_with_taskid=report.n_transfers_with_taskid,
-        n_matched_jobs=result.n_matched_jobs,
-        n_matched_transfers=result.n_matched_transfers,
+        n_matched_jobs=n_matched_jobs,
+        n_matched_transfers=n_matched_transfers,
         mean_transfer_pct=mean_transfer_pct(timings),
         geomean_transfer_pct=geomean_transfer_pct(timings),
     )
@@ -157,6 +249,7 @@ def headline_series(
     plans,
     method: str = "exact",
     executor=None,
+    frame: Optional[str] = None,
 ) -> List[HeadlineStats]:
     """§5.1 headline numbers over many windows, one executor sweep.
 
@@ -167,4 +260,4 @@ def headline_series(
     executor is parallel.
     """
     reports = pipeline.sweep(plans, executor=executor)
-    return [headline_stats(report, method=method) for report in reports]
+    return [headline_stats(report, method=method, frame=frame) for report in reports]

@@ -11,10 +11,12 @@ plus the same measures for job submissions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.columnar.kernels import bucket_accumulate
+from repro.columnar.packs import WindowColumns
 from repro.core.anomaly.imbalance import gini_coefficient
 from repro.telemetry.records import JobRecord, TransferRecord
 
@@ -78,11 +80,22 @@ def transfer_volume_profile(
     t0: float,
     t1: float,
     bucket_seconds: float = 3600.0,
+    columns: Optional[WindowColumns] = None,
 ) -> TemporalProfile:
-    """Bytes whose transfer *started* in each bucket."""
+    """Bytes whose transfer *started* in each bucket.
+
+    With ``columns`` (packs parallel to ``transfers``), the bucket
+    assignment and byte accumulation run as one vectorized pass
+    (``bucket_accumulate``: same floor-divide, same input-order float
+    additions as the loop).
+    """
     if t1 <= t0:
         raise ValueError("empty window")
     n = int(np.ceil((t1 - t0) / bucket_seconds))
+    if columns is not None:
+        tp = columns.transfers
+        volume = bucket_accumulate(tp.starttime, tp.size, t0, bucket_seconds, n)
+        return TemporalProfile(t0=t0, bucket_seconds=bucket_seconds, volume=volume)
     volume = np.zeros(n)
     for t in transfers:
         k = int((t.starttime - t0) // bucket_seconds)
@@ -96,11 +109,18 @@ def submission_profile(
     t0: float,
     t1: float,
     bucket_seconds: float = 3600.0,
+    columns: Optional[WindowColumns] = None,
 ) -> TemporalProfile:
     """Job submissions per bucket."""
     if t1 <= t0:
         raise ValueError("empty window")
     n = int(np.ceil((t1 - t0) / bucket_seconds))
+    if columns is not None:
+        jp = columns.jobs
+        counts = bucket_accumulate(
+            jp.creation, np.ones(len(jp), dtype=np.float64), t0, bucket_seconds, n
+        )
+        return TemporalProfile(t0=t0, bucket_seconds=bucket_seconds, volume=counts)
     counts = np.zeros(n)
     for j in jobs:
         k = int((j.creationtime - t0) // bucket_seconds)

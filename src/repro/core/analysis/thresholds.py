@@ -11,9 +11,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.analysis.queuing import JobTransferTiming
+import numpy as np
+
+from repro.columnar import DEFAULT_FRAME, validate_frame
+from repro.core.analysis.queuing import (
+    JobTransferTiming,
+    timing_table,
+    timings_for_result,
+)
+from repro.core.matching.base import MatchResult
 
 
 class StatusCombo(enum.Enum):
@@ -106,3 +114,39 @@ def threshold_sweep(
         for th in ths:
             cumulative[combo].append(sum(1 for p in pcts if p <= th))
     return ThresholdSweep(thresholds=ths, cumulative=cumulative, n_jobs=len(timings))
+
+
+def threshold_sweep_result(
+    result: MatchResult,
+    thresholds: Sequence[float] = tuple(DEFAULT_THRESHOLDS),
+    frame: Optional[str] = None,
+) -> ThresholdSweep:
+    """Fig 9 sweep straight from a match result, on either dataplane.
+
+    The columnar path runs the whole grid as one cumulative pass: sort
+    each status combo's percentage vector once, then every threshold
+    count is a ``searchsorted`` (``side="right"`` ≡ the reference's
+    ``p <= th`` tally) — no per-threshold rescan of the timings.
+    """
+    choice = validate_frame(frame) if frame is not None else DEFAULT_FRAME
+    if choice == "row":
+        return threshold_sweep(timings_for_result(result, frame="row"), thresholds)
+    table = timing_table(result)
+    ths = sorted(float(t) for t in thresholds)
+    tharr = np.asarray(ths, dtype=np.float64)
+    finished = table.interner.code_of("finished")
+    job_ok = table.status == finished
+    task_ok = table.taskstatus == finished
+    masks = {
+        StatusCombo.JOB_OK_TASK_OK: job_ok & task_ok,
+        StatusCombo.JOB_FAIL_TASK_OK: ~job_ok & task_ok,
+        StatusCombo.JOB_OK_TASK_FAIL: job_ok & ~task_ok,
+        StatusCombo.JOB_FAIL_TASK_FAIL: ~job_ok & ~task_ok,
+    }
+    cumulative = {
+        combo: np.searchsorted(
+            np.sort(table.transfer_pct[mask]), tharr, side="right"
+        ).tolist()
+        for combo, mask in masks.items()
+    }
+    return ThresholdSweep(thresholds=ths, cumulative=cumulative, n_jobs=len(table))

@@ -76,6 +76,21 @@ class MatchResult:
         default=None, init=False, repr=False, compare=False
     )
 
+    #: Columnar lowering of this result (``repro.columnar.frame``).
+    #: The columnar engine attaches it eagerly from its candidate
+    #: arrays; otherwise :meth:`frame` lowers the rows on first use.
+    _frame: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def frame(self):
+        """The :class:`~repro.columnar.frame.MatchFrame` of this result."""
+        if self._frame is None:
+            from repro.columnar.frame import MatchFrame
+
+            self._frame = MatchFrame.from_matches(self.matches)
+        return self._frame
+
     def matched_jobs(self) -> List[JobMatch]:
         return [m for m in self.matches if m.transfers]
 

@@ -14,12 +14,27 @@ split:
   :class:`~repro.core.matching.base.MatchingReport`\\ s with a
   deterministic map/reduce, fanning across cores when asked.
 
+A fourth stage rides on the executors:
+:mod:`repro.exec.analysis` fans named §5 analyses
+(:func:`run_analyses`) across the :class:`ParallelExecutor`'s
+persistent pool, sharing each window's matching report inside the
+workers.
+
 Every stage accepts an ``engine`` choice (``"row"`` or ``"columnar"``,
 see :mod:`repro.columnar`); both engines read the same artifacts and
-produce bit-identical reports.
+produce bit-identical reports.  Analyses additionally accept a
+``frame`` choice — the analysis dataplane (row loops vs ``MatchFrame``
+kernels), equally bit-identical.
 """
 
-from repro.columnar import DEFAULT_ENGINE, ENGINES, validate_engine
+from repro.columnar import (
+    DEFAULT_ENGINE,
+    DEFAULT_FRAME,
+    ENGINES,
+    FRAMES,
+    validate_engine,
+    validate_frame,
+)
 from repro.exec.artifacts import (
     ArtifactCache,
     WindowArtifacts,
@@ -35,20 +50,50 @@ from repro.exec.executor import (
 )
 from repro.exec.plan import WindowPlan, growing_plans, sliding_plans
 
+# The analysis fan-out sits *above* repro.core.analysis, which in turn
+# reaches back into repro.columnar — importing it here eagerly would
+# close an import cycle during the columnar package's own init.  PEP
+# 562 lazy attributes keep ``from repro.exec import run_analyses``
+# working without participating in that cycle.
+_ANALYSIS_EXPORTS = (
+    "ANALYSIS_NAMES",
+    "AnalysisSpec",
+    "DEFAULT_ANALYSES",
+    "analyze_report",
+    "run_analyses",
+)
+
+
+def __getattr__(name):
+    if name in _ANALYSIS_EXPORTS:
+        from repro.exec import analysis
+
+        return getattr(analysis, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "ANALYSIS_NAMES",
+    "AnalysisSpec",
     "ArtifactCache",
+    "DEFAULT_ANALYSES",
     "DEFAULT_ENGINE",
+    "DEFAULT_FRAME",
     "ENGINES",
     "Executor",
+    "FRAMES",
     "ParallelExecutor",
     "SerialExecutor",
     "WindowArtifacts",
     "WindowPlan",
+    "analyze_report",
     "build_report",
     "default_matchers",
     "growing_plans",
     "make_executor",
     "match_artifacts",
+    "run_analyses",
     "sliding_plans",
     "validate_engine",
+    "validate_frame",
 ]

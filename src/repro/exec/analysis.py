@@ -1,0 +1,231 @@
+"""Analysis fan-out: named §5 analyses over the persistent pool.
+
+:func:`run_analyses` runs a batch of named analyses (Table 1/2, the
+Fig-5/6 breakdowns, the Fig-9 sweep, site dashboards, temporal
+profiles, ...) for one window.  Serially it shares one materialized
+window and one matching report across every spec; through a
+:class:`~repro.exec.executor.ParallelExecutor` each spec becomes one
+task on the *persistent* pool, and workers memoize the window's report
+(:func:`~repro.exec.executor.worker_report`) so the Exact/RM1/RM2
+matching work is done once per worker, not once per analysis.
+
+Every spec resolves through the same row/columnar ``frame`` switch as
+the underlying analysis functions, so fan-out never changes numbers —
+only where and when they are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.columnar import (
+    DEFAULT_ENGINE,
+    DEFAULT_FRAME,
+    validate_engine,
+    validate_frame,
+)
+from repro.core.analysis.matrix import build_transfer_matrix
+from repro.core.analysis.queuing import (
+    timing_table,
+    timings_for_result,
+    top_jobs_breakdown,
+)
+from repro.core.analysis.sites import build_dashboards
+from repro.core.analysis.summary import (
+    activity_breakdown,
+    headline_stats,
+    method_comparison_jobs,
+    method_comparison_transfers,
+)
+from repro.core.analysis.temporal import submission_profile, transfer_volume_profile
+from repro.core.analysis.thresholds import threshold_sweep_result
+from repro.exec.artifacts import ArtifactCache, WindowArtifacts, build_report
+from repro.exec.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_matchers,
+    worker_cache,
+    worker_report,
+)
+from repro.exec.plan import WindowPlan
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """One named analysis over one window's matching report.
+
+    ``params`` is a sorted tuple of (key, value) pairs — kept hashable
+    and cheaply picklable so specs travel to pool workers unchanged.
+    Build with :meth:`make` to pass keyword parameters naturally.
+    """
+
+    name: str
+    method: str = "exact"
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, method: str = "exact", **params) -> "AnalysisSpec":
+        return cls(name=name, method=method, params=tuple(sorted(params.items())))
+
+    @classmethod
+    def of(cls, spec: Union[str, "AnalysisSpec"]) -> "AnalysisSpec":
+        return spec if isinstance(spec, AnalysisSpec) else cls(name=spec)
+
+
+#: Specs that need no extra parameters — the full §5 batch.
+DEFAULT_ANALYSES: Tuple[str, ...] = (
+    "headline",
+    "table1",
+    "table2_transfers",
+    "table2_jobs",
+    "top_local",
+    "top_remote",
+    "thresholds",
+    "sites",
+    "volume",
+    "submissions",
+)
+
+ANALYSIS_NAMES: Tuple[str, ...] = DEFAULT_ANALYSES + ("timings", "matrix")
+
+
+def _columns_for(artifacts: WindowArtifacts, choice: str):
+    # The columnar fast paths need the window's pre-lowered packs; a
+    # row-engine materialization has none, and the analyses then take
+    # their reference loops (identical results, just slower).
+    return artifacts.columns if choice == "columnar" else None
+
+
+def _top_jobs(result, locality: str, choice: str, **kw):
+    if choice == "columnar":
+        return timing_table(result).top_jobs(locality, **kw)
+    return top_jobs_breakdown(timings_for_result(result, frame="row"), locality, **kw)
+
+
+def _dispatch(
+    spec: AnalysisSpec,
+    report,
+    artifacts: WindowArtifacts,
+    plan: WindowPlan,
+    choice: str,
+):
+    name, kw = spec.name, dict(spec.params)
+    result = report[spec.method]
+    if name == "headline":
+        return headline_stats(report, method=spec.method, frame=choice)
+    if name == "timings":
+        return timings_for_result(result, frame=choice)
+    if name == "top_local":
+        return _top_jobs(result, "local", choice, **kw)
+    if name == "top_remote":
+        return _top_jobs(result, "remote", choice, **kw)
+    if name == "thresholds":
+        return threshold_sweep_result(result, frame=choice, **kw)
+    if name == "table1":
+        return activity_breakdown(
+            result, artifacts.transfers, columns=_columns_for(artifacts, choice)
+        )
+    if name == "table2_transfers":
+        return method_comparison_transfers(report, frame=choice)
+    if name == "table2_jobs":
+        return method_comparison_jobs(report, frame=choice)
+    if name == "matrix":
+        site_names = kw.pop("site_names")
+        return build_transfer_matrix(
+            artifacts.transfers,
+            list(site_names),
+            columns=_columns_for(artifacts, choice),
+        )
+    if name == "sites":
+        return build_dashboards(
+            artifacts.jobs, artifacts.transfers, columns=_columns_for(artifacts, choice)
+        )
+    if name == "volume":
+        return transfer_volume_profile(
+            artifacts.transfers,
+            plan.t0,
+            plan.t1,
+            columns=_columns_for(artifacts, choice),
+            **kw,
+        )
+    if name == "submissions":
+        return submission_profile(
+            artifacts.jobs,
+            plan.t0,
+            plan.t1,
+            columns=_columns_for(artifacts, choice),
+            **kw,
+        )
+    raise ValueError(f"unknown analysis {name!r} (known: {', '.join(ANALYSIS_NAMES)})")
+
+
+def analyze_report(
+    report,
+    artifacts: WindowArtifacts,
+    specs: Sequence[Union[str, AnalysisSpec]] = DEFAULT_ANALYSES,
+    frame: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run every spec against an already-built report (in-process).
+
+    The pure analysis half of :func:`run_analyses` — benchmarks time it
+    separately from matching, and the serial path delegates here.
+    """
+    choice = validate_frame(frame) if frame is not None else DEFAULT_FRAME
+    return {
+        spec.name: _dispatch(spec, report, artifacts, artifacts.plan, choice)
+        for spec in (AnalysisSpec.of(s) for s in specs)
+    }
+
+
+def _analysis_task(task):
+    """Pool task: one spec against the worker's memoized report."""
+    plan, spec, matchers, engine, choice = task
+    report = worker_report(plan, list(matchers), engine)
+    artifacts = worker_cache().get(plan)
+    return _dispatch(spec, report, artifacts, plan, choice)
+
+
+def run_analyses(
+    source,
+    plan: WindowPlan,
+    specs: Sequence[Union[str, AnalysisSpec]] = DEFAULT_ANALYSES,
+    *,
+    matchers=None,
+    known_sites=None,
+    executor=None,
+    engine: Optional[str] = None,
+    frame: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run every spec for one window; returns ``{spec name: result}``.
+
+    With a :class:`ParallelExecutor`, specs fan out across the
+    executor's persistent pool (one task each); matching work is shared
+    through the workers' report memo, and interleaving this with
+    ``execute`` sweeps over the same source re-uses the same pool — no
+    re-initialization.  Otherwise the specs run in-process against one
+    report.  ``frame`` picks the analysis dataplane (row or columnar;
+    default :data:`repro.columnar.DEFAULT_FRAME`) — results are
+    bit-identical either way.
+    """
+    resolved: List[AnalysisSpec] = [AnalysisSpec.of(s) for s in specs]
+    choice = validate_frame(frame) if frame is not None else DEFAULT_FRAME
+    matchers = list(matchers) if matchers is not None else default_matchers(known_sites)
+
+    if isinstance(executor, ParallelExecutor) and resolved:
+        eng = executor._engine(engine)
+        tasks = [(plan, spec, tuple(matchers), eng, choice) for spec in resolved]
+        results = executor.map_with_source(_analysis_task, tasks, source, engine=eng)
+        return {spec.name: res for spec, res in zip(resolved, results)}
+
+    if executor is not None:
+        eng = executor._engine(engine)
+    else:
+        eng = validate_engine(engine or DEFAULT_ENGINE)
+    if isinstance(executor, SerialExecutor):
+        cache = executor._cache_for(source)
+    else:
+        cache = ArtifactCache(source, engine=eng)
+    artifacts = cache.get(plan)
+    report = build_report(artifacts, matchers, engine=eng)
+    return analyze_report(report, artifacts, resolved, frame=choice)

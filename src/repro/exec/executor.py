@@ -14,6 +14,15 @@ Parallel workers each hold their own artifact cache, seeded once per
 pool from a pickled copy of the source; tasks for the same plan are
 chunked together so a window is materialized once per worker, not once
 per matcher.
+
+The pool itself is *persistent*: a :class:`ParallelExecutor` creates
+its ``ProcessPoolExecutor`` once and reuses it across every
+``execute()``/``map`` call, keyed on ``(source, generation, engine)``
+so worker state can never go stale — re-forking and re-pickling the
+source per call was the dominant cost of sweep workloads.  The pool is
+released by the existing ``close()``/context-manager protocol (and
+defensively by ``__del__``); ``pool_inits`` counts initializations so
+benchmarks can assert sweeps run on one pool.
 """
 
 from __future__ import annotations
@@ -114,10 +123,38 @@ class SerialExecutor(Executor):
 
 _WORKER_CACHE: Optional[ArtifactCache] = None
 
+#: Per-worker memo of whole-window matching reports, keyed by
+#: ``(plan key, matcher names, engine)``.  Analysis fan-out tasks for
+#: one report share the matching work through this; it lives exactly as
+#: long as the worker process (= the pool), and the pool is keyed on
+#: the source generation, so entries can never go stale.
+_WORKER_REPORTS: dict = {}
+
 
 def _worker_init(source, engine: Optional[str] = None) -> None:
     global _WORKER_CACHE
     _WORKER_CACHE = ArtifactCache(source, engine=engine)
+    _WORKER_REPORTS.clear()
+
+
+def worker_cache() -> ArtifactCache:
+    """The calling worker process's artifact cache (post-initializer)."""
+    assert _WORKER_CACHE is not None, "pool initializer did not run"
+    return _WORKER_CACHE
+
+
+def worker_report(
+    plan: WindowPlan, matchers: Sequence[BaseMatcher], engine: Optional[str]
+) -> MatchingReport:
+    """Memoized whole-window report inside one worker process."""
+    cache = worker_cache()
+    generation = getattr(cache.source, "generation", 0)
+    key = (plan.key(generation), tuple(m.name for m in matchers), engine)
+    report = _WORKER_REPORTS.get(key)
+    if report is None:
+        report = build_report(cache.get(plan), matchers, engine=engine)
+        _WORKER_REPORTS[key] = report
+    return report
 
 
 def _worker_task(task: Tuple[WindowPlan, BaseMatcher]):
@@ -155,16 +192,82 @@ class ParallelExecutor(Executor):
         self.workers = workers or os.cpu_count() or 1
         self._mp_context = mp_context
         self.engine = validate_engine(engine) if engine is not None else None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_key: Optional[tuple] = None
+        #: Number of pool initializations over this executor's lifetime;
+        #: a sweep over one source must leave this at 1.
+        self.pool_inits = 0
+
+    # -- persistent pool lifecycle -------------------------------------------
+
+    def _source_key(self, source, engine: str) -> tuple:
+        return ("source", id(source), getattr(source, "generation", 0), engine)
+
+    def _pool_for(self, key: tuple, initargs: Optional[tuple] = None) -> ProcessPoolExecutor:
+        """The persistent pool for ``key``, (re)created only on key change.
+
+        ``key`` captures everything the workers' global state depends
+        on — the source identity, its data generation, and the engine —
+        so reuse is safe exactly when the key matches.  A bare pool
+        (``key[0] == "bare"``) carries no worker state and any live
+        pool can serve it.
+        """
+        if self._pool is not None:
+            if key == self._pool_key or key[0] == "bare":
+                return self._pool
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.pool_inits += 1
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._mp_context,
+            initializer=_worker_init if initargs is not None else None,
+            initargs=initargs if initargs is not None else (),
+        )
+        self._pool_key = key
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None
+
+    def __del__(self) -> None:
+        # Defensive: tests and sweeps that forget close() must not leak
+        # worker processes.
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     def map(self, fn: Callable, items: Iterable) -> List:
-        """Generic parallel map; ``fn`` and items must be picklable."""
+        """Generic parallel map; ``fn`` and items must be picklable.
+
+        Routed through the persistent pool: an existing pool (bare or
+        source-keyed) is reused as-is, so interleaving ``map`` calls
+        with ``execute`` sweeps costs no re-initialization.
+        """
         items = list(items)
         if not items:
             return []
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(items)), mp_context=self._mp_context
-        ) as pool:
-            return list(pool.map(fn, items))
+        pool = self._pool_for(("bare",))
+        return list(pool.map(fn, items))
+
+    def map_with_source(
+        self, fn: Callable, items: Iterable, source, engine: Optional[str] = None
+    ) -> List:
+        """Parallel map whose tasks read the per-worker source state.
+
+        Ensures the pool's workers were initialized for ``source`` (and
+        ``engine``), exactly like :meth:`execute` — the entry point the
+        analysis fan-out (:mod:`repro.exec.analysis`) builds on.
+        """
+        items = list(items)
+        if not items:
+            return []
+        eng = self._engine(engine)
+        pool = self._pool_for(self._source_key(source, eng), initargs=(source, eng))
+        return list(pool.map(fn, items))
 
     def execute(
         self,
@@ -189,13 +292,8 @@ class ParallelExecutor(Executor):
             # Few plans, many matchers: matcher-level parallelism wins
             # even though several workers materialize the same window.
             chunksize = 1
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(tasks)),
-            mp_context=self._mp_context,
-            initializer=_worker_init,
-            initargs=(source, eng),
-        ) as pool:
-            partials = list(pool.map(_worker_task, tasks, chunksize=chunksize))
+        pool = self._pool_for(self._source_key(source, eng), initargs=(source, eng))
+        partials = list(pool.map(_worker_task, tasks, chunksize=chunksize))
 
         reports: List[MatchingReport] = []
         cursor = iter(partials)

@@ -79,6 +79,8 @@ class OpenSearchLike:
         intern = self.interner.intern
         for j in self.jobs:
             intern(j.computingsite)
+            intern(j.status)
+            intern(j.taskstatus)
         for f in self.files:
             intern(f.lfn)
             intern(f.dataset)
@@ -91,6 +93,7 @@ class OpenSearchLike:
             intern(t.scope)
             intern(t.source_site)
             intern(t.destination_site)
+            intern(t.activity)
         return len(self.interner)
 
     # -- columnar lowering ----------------------------------------------------

@@ -10,9 +10,11 @@ this study's outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Sequence
 
+from repro.columnar import validate_frame
 from repro.core.matching.pipeline import MatchingPipeline, MatchingReport
+from repro.exec.analysis import DEFAULT_ANALYSES, run_analyses
 from repro.exec.executor import Executor, make_executor
 from repro.metastore.opensearch import OpenSearchLike
 from repro.scenarios.runtime import HarnessConfig, SimulationHarness
@@ -61,17 +63,20 @@ class EightDayStudy:
     """End-to-end §5 reproduction: simulate → degrade → query → match.
 
     ``engine`` selects the matching join implementation (``"row"`` or
-    ``"columnar"``); reports are bit-identical either way, so it is a
-    pure performance knob.
+    ``"columnar"``) and ``frame`` the analysis dataplane (row loops vs
+    ``MatchFrame`` kernels); reports and analyses are bit-identical
+    either way, so both are pure performance knobs.
     """
 
     def __init__(
         self,
         config: Optional[EightDayConfig] = None,
         engine: Optional[str] = None,
+        frame: Optional[str] = None,
     ) -> None:
         self.config = config or EightDayConfig()
         self.engine = engine
+        self.frame = validate_frame(frame) if frame is not None else None
         self.harness = SimulationHarness(self.config.harness_config())
         self._source: Optional[OpenSearchLike] = None
         self._pipeline: Optional[MatchingPipeline] = None
@@ -123,5 +128,41 @@ class EightDayStudy:
         if self._report is None:
             t0, t1 = self.harness.window
             ex = executor if executor is not None else make_executor(workers)
-            self._report = self.pipeline.run(t0, t1, executor=ex, engine=engine)
+            try:
+                self._report = self.pipeline.run(t0, t1, executor=ex, engine=engine)
+            finally:
+                if executor is None:
+                    ex.close()
         return self._report
+
+    def analyses(
+        self,
+        specs: Sequence = DEFAULT_ANALYSES,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        engine: Optional[str] = None,
+        frame: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """The §5 analysis batch over the full window.
+
+        Fans one task per spec across the executor's persistent pool
+        when parallel (see :func:`repro.exec.analysis.run_analyses`);
+        ``frame`` overrides the study's analysis dataplane.  Results
+        are bit-identical across every (workers, engine, frame)
+        combination.
+        """
+        t0, t1 = self.harness.window
+        ex = executor if executor is not None else make_executor(workers)
+        try:
+            return run_analyses(
+                self.source,
+                self.pipeline.plan(t0, t1),
+                specs,
+                known_sites=self.harness.known_site_names(),
+                executor=ex,
+                engine=engine or self.engine,
+                frame=frame if frame is not None else self.frame,
+            )
+        finally:
+            if executor is None:
+                ex.close()

@@ -48,6 +48,12 @@ class TestBandwidthSeries:
         with pytest.raises(ValueError):
             bandwidth_series([], 10.0, 10.0)
 
+    def test_mbps_cached(self):
+        ts = [make_transfer(size=1000, start=0.0, end=10.0)]
+        s = bandwidth_series(ts, 0.0, 20.0, bucket_seconds=10.0)
+        assert s.mbps is s.mbps  # cached_property: derived once per series
+        assert s.peak_mbps == s.mbps.max()
+
     def test_fluctuation_zero_for_constant(self):
         ts = [make_transfer(size=1000, start=0.0, end=40.0)]
         s = bandwidth_series(ts, 0.0, 40.0, bucket_seconds=10.0)

@@ -262,3 +262,49 @@ class TestBatchedPreselection:
         jobs = pipeline.preselect_jobs(t0, t1)
         files = pipeline.preselect_files(jobs)
         assert {f.pandaid for f in files} <= {j.pandaid for j in jobs}
+
+
+class TestPersistentPool:
+    """The zero-rebuild pool: one initialization per (source, generation)."""
+
+    def test_pool_survives_execute_and_map(self):
+        source = tiny_source()
+        plans = sliding_plans(0.0, 20_000.0, 10_000.0)
+        with ParallelExecutor(workers=2) as ex:
+            ex.execute(source, plans[:1])
+            ex.execute(source, plans)
+            assert ex.map(abs, [-1, 2, -3]) == [1, 2, 3]
+            ex.execute(source, plans)
+            assert ex.pool_inits == 1
+
+    def test_close_releases_pool(self):
+        source = tiny_source()
+        ex = ParallelExecutor(workers=2)
+        ex.execute(source, [WindowPlan(0.0, 10_000.0)])
+        ex.close()
+        assert ex._pool is None
+        ex.execute(source, [WindowPlan(0.0, 10_000.0)])
+        ex.close()
+        assert ex.pool_inits == 2
+
+    def test_generation_bump_reinitializes(self):
+        source = tiny_source()
+        plan = WindowPlan(0.0, 10_000.0)
+        with ParallelExecutor(workers=2) as ex:
+            before = ex.execute(source, [plan])[0]
+            job2, files2, _ = matching_triple()
+            job2 = make_job(pandaid=999_999, creation=1.0, start=2.0, end=3.0)
+            source.jobs.ingest([job2])
+            source.store.freeze()
+            after = ex.execute(source, [plan])[0]
+            assert ex.pool_inits == 2
+            assert after.n_jobs >= before.n_jobs
+
+    def test_engine_change_reinitializes(self):
+        source = tiny_source()
+        plan = WindowPlan(0.0, 10_000.0)
+        with ParallelExecutor(workers=2) as ex:
+            col = ex.execute(source, [plan], engine="columnar")[0]
+            row = ex.execute(source, [plan], engine="row")[0]
+            assert ex.pool_inits == 2
+            assert _report_fingerprint(col) == _report_fingerprint(row)
