@@ -9,6 +9,9 @@
   worker pool when ``--workers`` > 1;
 * ``sweep`` — window-sensitivity curve via the (optionally parallel)
   sweep executor;
+* ``stream`` — replay the campaign window through the streaming
+  dataplane (``repro.stream``) in micro-batches and verify the
+  accumulated matches are bit-identical to the batch pipeline;
 * ``anomalies`` — campaign + anomaly report + mitigation advice;
 * ``growth`` — print the Fig 2 cumulative-volume series;
 * ``ablation`` — locality vs co-optimized brokerage comparison;
@@ -170,6 +173,41 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    study = _study(args)
+    processor = study.stream(
+        batch_seconds=args.batch_hours * 3600.0, lateness=args.lateness
+    )
+    metrics = processor.metrics()
+    print(f"micro-batches        : {metrics.n_batches} "
+          f"({args.batch_hours:g}h event-time spans)")
+    print(f"events processed     : {metrics.n_events} "
+          f"({metrics.n_job_events} jobs, {metrics.n_transfer_events} transfers)")
+    print(f"sustained throughput : {metrics.events_per_sec:,.0f} events/s "
+          f"(ingest {metrics.ingest_s:.2f}s match {metrics.match_s:.2f}s "
+          f"fold {metrics.fold_s:.2f}s)")
+    print(f"late events          : {metrics.n_late_events}  "
+          f"pending jobs at EOS  : {metrics.n_pending_jobs}")
+    stream_report = processor.report()
+    for method, n in metrics.total_matched.items():
+        print(f"matched jobs [{method:5s}] : {n}")
+
+    stats = processor.headline()
+    print(f"\nrunning headline     : {stats.n_matched_transfers} matched "
+          f"transfers ({stats.transfer_match_pct:.2f}%), mean transfer-time "
+          f"{stats.mean_transfer_pct:.2f}% of queue")
+
+    batch_report = study.matching_report(workers=args.workers)
+    identical = all(
+        stream_report[m].matched_pairs() == batch_report[m].matched_pairs()
+        and stream_report[m] == batch_report[m]
+        for m in batch_report.methods
+    )
+    print(f"streaming vs batch   : "
+          f"{'bit-identical' if identical else 'DIVERGED'}")
+    return 0 if identical else 1
+
+
 def cmd_anomalies(args) -> int:
     study = _study(args)
     telemetry = study.telemetry
@@ -248,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("match", cmd_match, None),
         ("analyze", cmd_analyze, None),
         ("sweep", cmd_sweep, "points"),
+        ("stream", cmd_stream, "stream"),
         ("anomalies", cmd_anomalies, None),
         ("ablation", cmd_ablation, None),
         ("export", cmd_export, "out"),
@@ -259,6 +298,14 @@ def build_parser() -> argparse.ArgumentParser:
         if extra == "points":
             p.add_argument("--points", type=int, default=6,
                            help="growing-window points in the sweep")
+        if extra == "stream":
+            p.add_argument("--batch-hours", type=float, default=6.0,
+                           metavar="HOURS",
+                           help="micro-batch event-time span in hours "
+                                "(default %(default)s)")
+            p.add_argument("--lateness", type=float, default=0.0,
+                           help="allowed event-time disorder in seconds "
+                                "before a job window closes")
         p.set_defaults(fn=fn)
 
     g = sub.add_parser("growth", help="print the Fig 2 volume series")

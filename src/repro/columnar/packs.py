@@ -47,6 +47,28 @@ class _PackRows:
             return self
         return type(self)(**{f.name: getattr(self, f.name)[rows] for f in fields})
 
+    def gather(self, rows: np.ndarray):
+        """Like :meth:`take` but for arbitrary (unsorted, repeatable)
+        row orders — no identity shortcut, so the output rows are in
+        exactly the order asked for.  The streaming delta matcher cuts
+        micro-batch packs in event-sequence order, which need not be
+        storage order."""
+        fields = dataclasses.fields(self)
+        return type(self)(**{f.name: getattr(self, f.name)[rows] for f in fields})
+
+    def concat(self, other):
+        """A new pack with ``other``'s rows appended (same field set).
+
+        Column-wise ``np.concatenate`` — the append path of the
+        streaming ingest, where a micro-batch's freshly lowered pack
+        extends the full-table pack without re-lowering history.
+        """
+        fields = dataclasses.fields(self)
+        return type(self)(**{
+            f.name: np.concatenate([getattr(self, f.name), getattr(other, f.name)])
+            for f in fields
+        })
+
 
 @dataclass
 class JobPack(_PackRows):
@@ -196,4 +218,39 @@ class WindowColumns:
             jobs=self.jobs.take(job_rows),
             files=self.files.take(file_rows),
             transfers=self.transfers.take(transfer_rows),
+        )
+
+    def gather(
+        self,
+        job_rows: np.ndarray,
+        file_rows: np.ndarray,
+        transfer_rows: np.ndarray,
+    ) -> "WindowColumns":
+        """Cut columns in an arbitrary row order (no sortedness contract)."""
+        return WindowColumns(
+            interner=self.interner,
+            jobs=self.jobs.gather(job_rows),
+            files=self.files.gather(file_rows),
+            transfers=self.transfers.gather(transfer_rows),
+        )
+
+    def extend(
+        self,
+        jobs: Sequence[JobRecord],
+        files: Sequence[FileRecord],
+        transfers: Sequence[TransferRecord],
+    ) -> "WindowColumns":
+        """A new ``WindowColumns`` with the delta records appended.
+
+        Only the delta is lowered (through the *same* interner, so
+        codes stay stable across batches); existing columns are reused
+        by concatenation.  This keeps streaming ingest linear in the
+        event count rather than re-lowering the whole history per
+        micro-batch.
+        """
+        return WindowColumns(
+            interner=self.interner,
+            jobs=self.jobs.concat(lower_jobs(jobs, self.interner)),
+            files=self.files.concat(lower_files(files, self.interner)),
+            transfers=self.transfers.concat(lower_transfers(transfers, self.interner)),
         )

@@ -18,8 +18,17 @@ class FieldIndex:
     """Index over one field of one collection.
 
     Built once after bulk ingestion (``freeze``); lookups before
-    freezing fall back to the hash index only.
+    freezing fall back to the hash index only.  Appends after the first
+    freeze merge into the sorted column instead of rebuilding it — the
+    streaming ingest path (:meth:`Collection.append`) freezes once per
+    micro-batch, so a full re-sort there would make ingest quadratic
+    over a run.
     """
+
+    #: Process-wide count of full sorted-column rebuilds.  Incremental
+    #: appends must not grow this (tests assert it); only the first
+    #: freeze of a column pays the full sort.
+    full_builds = 0
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -32,6 +41,9 @@ class FieldIndex:
         #: add) means ingest interleaved with range queries re-sorts the
         #: column once per batch, not once per query.
         self._dirty: bool = False
+        #: (value, doc_id) pairs added since the last freeze — the
+        #: delta an incremental freeze merges into the frozen arrays.
+        self._pending: List[tuple] = []
 
     @staticmethod
     def _is_numeric(value: Any) -> bool:
@@ -47,6 +59,9 @@ class FieldIndex:
         self._by_value.setdefault(value, []).append(doc_id)
         if self._numeric and not self._is_numeric(value):
             self._numeric = False
+            self._pending.clear()
+        if self._numeric:
+            self._pending.append((value, doc_id))
         self._dirty = True
 
     def freeze(self) -> None:
@@ -54,19 +69,35 @@ class FieldIndex:
 
         No-op when nothing was added since the last freeze, so callers
         can freeze eagerly per batch without re-sorting clean columns.
+        Once a column is frozen, later batches merge O(delta log n)
+        into the existing arrays instead of re-sorting everything —
+        doc ids only grow, so inserting each pending pair after its
+        equal-valued predecessors (``side="right"``) reproduces the
+        full rebuild's (value, doc_id) order exactly.
         """
         if not self._numeric or not self._by_value:
             self._values = None
             self._doc_ids = None
             self._dirty = False
+            self._pending.clear()
             return
         if not self._dirty and self._values is not None:
             return
-        pairs = [(v, d) for v, docs in self._by_value.items() for d in docs]
-        pairs.sort()
-        self._values = np.array([p[0] for p in pairs], dtype=float)
-        self._doc_ids = np.array([p[1] for p in pairs], dtype=np.int64)
+        if self._values is not None and self._pending:
+            self._pending.sort()
+            new_values = np.array([p[0] for p in self._pending], dtype=float)
+            new_ids = np.array([p[1] for p in self._pending], dtype=np.int64)
+            at = np.searchsorted(self._values, new_values, side="right")
+            self._values = np.insert(self._values, at, new_values)
+            self._doc_ids = np.insert(self._doc_ids, at, new_ids)
+        else:
+            FieldIndex.full_builds += 1
+            pairs = [(v, d) for v, docs in self._by_value.items() for d in docs]
+            pairs.sort()
+            self._values = np.array([p[0] for p in pairs], dtype=float)
+            self._doc_ids = np.array([p[1] for p in pairs], dtype=np.int64)
         self._dirty = False
+        self._pending.clear()
 
     # -- lookups -------------------------------------------------------------
 

@@ -76,17 +76,21 @@ class OpenSearchLike:
         size.  Call after out-of-band ingests to keep window lowerings
         allocation-free on the dictionary side.
         """
+        self._warm(self.jobs, self.files, self.transfers)
+        return len(self.interner)
+
+    def _warm(self, jobs, files, transfers) -> None:
         intern = self.interner.intern
-        for j in self.jobs:
+        for j in jobs:
             intern(j.computingsite)
             intern(j.status)
             intern(j.taskstatus)
-        for f in self.files:
+        for f in files:
             intern(f.lfn)
             intern(f.dataset)
             intern(f.proddblock)
             intern(f.scope)
-        for t in self.transfers:
+        for t in transfers:
             intern(t.lfn)
             intern(t.dataset)
             intern(t.proddblock)
@@ -94,7 +98,38 @@ class OpenSearchLike:
             intern(t.source_site)
             intern(t.destination_site)
             intern(t.activity)
-        return len(self.interner)
+
+    def ingest_batch(
+        self,
+        jobs: Sequence[JobRecord] = (),
+        files: Sequence[FileRecord] = (),
+        transfers: Sequence[TransferRecord] = (),
+    ) -> int:
+        """Append a telemetry micro-batch; all derived state stays hot.
+
+        The streaming ingest primitive: each collection appends with an
+        incremental index re-freeze (``Collection.append``), the delta
+        strings warm the shared interner, and — when the full-table
+        column packs were already lowered — only the delta records are
+        lowered and concatenated onto them.  The store generation bumps
+        with every non-empty append, so ``ArtifactCache`` entries and
+        persistent worker pools keyed on it invalidate exactly as they
+        would for a bulk ingest.
+        """
+        jobs, files, transfers = list(jobs), list(files), list(transfers)
+        had_packs = self._packs is not None
+        n = 0
+        if jobs:
+            n += self.jobs.append(jobs)
+        if files:
+            n += self.files.append(files)
+        if transfers:
+            n += self.transfers.append(transfers)
+        self._warm(jobs, files, transfers)
+        if n and had_packs:
+            self._packs = self._packs.extend(jobs, files, transfers)
+            self._packs_generation = self.generation
+        return n
 
     # -- columnar lowering ----------------------------------------------------
 

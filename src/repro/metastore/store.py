@@ -54,6 +54,21 @@ class Collection:
             n += 1
         return n
 
+    def append(self, docs: Iterable[Any]) -> int:
+        """Ingest a micro-batch and re-freeze incrementally.
+
+        The streaming ingest primitive: equivalent to
+        ``ingest(docs); freeze()`` but each touched :class:`FieldIndex`
+        merges only the delta into its sorted column (see
+        ``FieldIndex.freeze``), so appending stays O(delta log n)
+        instead of re-sorting the whole collection per batch.  The
+        generation bump from :meth:`ingest` invalidates every cache
+        layer keyed on it.
+        """
+        n = self.ingest(docs)
+        self.freeze()
+        return n
+
     def freeze(self) -> None:
         for idx in self._indices.values():
             idx.freeze()

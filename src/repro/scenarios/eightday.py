@@ -135,6 +135,34 @@ class EightDayStudy:
                     ex.close()
         return self._report
 
+    def stream(
+        self,
+        batch_seconds: Optional[float] = None,
+        batch_events: Optional[int] = None,
+        lateness: float = 0.0,
+    ):
+        """Replay the full window through the streaming dataplane.
+
+        Builds the sequenced event log from this study's telemetry and
+        drains it through a :class:`~repro.stream.StreamProcessor` in
+        deterministic micro-batches (six-hour spans unless overridden).
+        The returned processor's ``report()`` is bit-identical to
+        :meth:`matching_report` for Exact/RM1/RM2, and its folds hold
+        the running §5.1 headline / Fig-9 accumulators.
+        """
+        from repro.stream import replay_window
+
+        t0, t1 = self.harness.window
+        return replay_window(
+            self.telemetry,
+            t0,
+            t1,
+            known_sites=self.harness.known_site_names(),
+            batch_seconds=batch_seconds,
+            batch_events=batch_events,
+            lateness=lateness,
+        )
+
     def analyses(
         self,
         specs: Sequence = DEFAULT_ANALYSES,

@@ -9,7 +9,7 @@ collection alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.grid.presets import WlcgPresetConfig, build_wlcg
 from repro.grid.topology import GridTopology
@@ -59,7 +59,8 @@ class SimulationHarness:
     """Assembled simulation; build → run → degrade → analyse."""
 
     def __init__(self, config: HarnessConfig, topology: Optional[GridTopology] = None,
-                 broker: Optional[Broker] = None) -> None:
+                 broker: Optional[Broker] = None,
+                 collector_factory: Optional[Callable[[DidCatalog], TelemetryCollector]] = None) -> None:
         self.config = config
         self.rngs = RngRegistry(config.seed)
         self.engine = Engine()
@@ -68,7 +69,14 @@ class SimulationHarness:
         self.ids = IdFactory()
         self.catalog = DidCatalog()
         self.replicas = ReplicaRegistry(self.topology)
-        self.collector = TelemetryCollector(self.catalog)
+        # A custom factory lets live consumers tap the sinks as events
+        # happen — e.g. repro.stream's StreamingCollector appending to
+        # an event log — while inheriting all collector behavior.
+        self.collector = (
+            collector_factory(self.catalog)
+            if collector_factory is not None
+            else TelemetryCollector(self.catalog)
+        )
         self.fts = TransferService(
             self.engine,
             self.topology,

@@ -1,0 +1,52 @@
+"""Streaming ingest + incremental matching dataplane.
+
+The batch workflow (Fig 4) retrieves an 8-day window and matches it
+once; production PanDA/Rucio telemetry is a continuous feed.  This
+package keeps matches and headline analyses current as events arrive:
+
+* :mod:`repro.stream.log` — the sequenced, append-only event log
+  (:class:`EventLog`), replayed from a telemetry snapshot or fed live
+  through :class:`StreamingCollector`;
+* :mod:`repro.stream.watermark` — :class:`WatermarkTracker`, closing
+  job windows only once the transfer watermark passes their endtime;
+* :mod:`repro.stream.incremental` — :class:`IncrementalMatcher` /
+  :class:`StreamProcessor`, per-strategy incremental state over the
+  columnar kernels, emitting a :class:`MatchDelta` per micro-batch;
+* :mod:`repro.stream.folds` — online summary/queuing/threshold
+  accumulators over deltas;
+* :mod:`repro.stream.metrics` — the :class:`StreamMetrics` snapshot.
+
+The accumulated final state is bit-identical to the batch pipeline's
+:class:`~repro.core.matching.base.MatchingReport` for Exact/RM1/RM2
+(property-tested in ``tests/test_stream.py``; see DESIGN.md §9).
+"""
+
+from repro.stream.folds import FoldSet, QueuingFold, SummaryFold, ThresholdFold
+from repro.stream.incremental import (
+    Finalized,
+    IncrementalMatcher,
+    MatchDelta,
+    StreamProcessor,
+    replay_window,
+)
+from repro.stream.log import EventKind, EventLog, StreamEvent, StreamingCollector
+from repro.stream.metrics import StreamMetrics
+from repro.stream.watermark import WatermarkTracker
+
+__all__ = [
+    "EventKind",
+    "EventLog",
+    "Finalized",
+    "FoldSet",
+    "IncrementalMatcher",
+    "MatchDelta",
+    "QueuingFold",
+    "StreamEvent",
+    "StreamMetrics",
+    "StreamProcessor",
+    "StreamingCollector",
+    "SummaryFold",
+    "ThresholdFold",
+    "WatermarkTracker",
+    "replay_window",
+]

@@ -1,0 +1,69 @@
+"""Event-time watermark / lateness tracking.
+
+The stream's ordering guarantee is *event time*, not delivery order:
+transfer events may arrive late relative to their ``starttime``.  The
+tracker maintains the standard low-watermark
+
+    ``watermark = max(observed transfer starttime) - lateness``
+
+and a job's window may close once ``endtime <= watermark``: any
+transfer that could still arrive has ``starttime >= watermark >=
+endtime`` (given the lateness bound holds), so it would fail Algorithm
+1's strict ``starttime < endtime`` time filter anyway — the job's match
+set is final.  That inequality is the whole parity argument; see
+DESIGN.md §9.
+
+A transfer that violates the bound (``starttime < watermark`` at
+arrival) still matches *open* jobs but may have been missed by
+already-closed ones; :class:`~repro.stream.metrics.StreamMetrics`
+counts these so the violation is observable, never silent.
+"""
+
+from __future__ import annotations
+
+
+class WatermarkTracker:
+    """Low-watermark over observed transfer event times."""
+
+    def __init__(self, lateness: float = 0.0) -> None:
+        if lateness < 0:
+            raise ValueError("lateness must be >= 0")
+        self.lateness = float(lateness)
+        self._max_event_time = float("-inf")
+        self._closed = False
+
+    def observe(self, event_time: float) -> None:
+        """Account one transfer's event time (its starttime)."""
+        if event_time > self._max_event_time:
+            self._max_event_time = event_time
+
+    @property
+    def max_event_time(self) -> float:
+        return self._max_event_time
+
+    @property
+    def watermark(self) -> float:
+        """No job with ``endtime <= watermark`` can gain new matches."""
+        if self._closed:
+            return float("inf")
+        return self._max_event_time - self.lateness
+
+    @property
+    def lag(self) -> float:
+        """How far the watermark trails the newest event (0 when closed)."""
+        return self._max_event_time - self.watermark if not self._closed else 0.0
+
+    def is_late(self, event_time: float) -> bool:
+        """Does this event time violate the lateness bound?"""
+        return event_time < self.watermark
+
+    def can_close(self, endtime: float) -> bool:
+        return endtime <= self.watermark
+
+    def close(self) -> None:
+        """End of stream: every pending window may flush."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.panda.job import Job, JobKind
 from repro.panda.task import JediTask, TaskStatus
 from repro.rucio.catalog import DidCatalog
@@ -24,11 +26,17 @@ class TelemetryCollector:
         self.transfer_events: List[TransferEvent] = []
         self.completed_jobs: List[Job] = []
         self._jobs_by_id: Dict[int, Job] = {}
+        # Start-time order over transfer_events, built lazily on the
+        # first window query and invalidated by appends, so repeated
+        # window queries are O(log n + k) instead of full scans.
+        self._start_order: Optional[np.ndarray] = None
+        self._sorted_starts: Optional[np.ndarray] = None
 
     # -- sinks (wired into FTS and PanDA) ------------------------------------
 
     def on_transfer(self, event: TransferEvent) -> None:
         self.transfer_events.append(event)
+        self._start_order = None
 
     def on_job_done(self, job: Job) -> None:
         if job.pandaid in self._jobs_by_id:
@@ -58,8 +66,25 @@ class TelemetryCollector:
         return [j for j in self.completed_jobs if j.kind is kind]
 
     def transfers_in_window(self, t0: float, t1: float) -> List[TransferEvent]:
-        """Transfers whose start falls in [t0, t1)."""
-        return [e for e in self.transfer_events if t0 <= e.starttime < t1]
+        """Transfers whose start falls in [t0, t1), in arrival order.
+
+        Sort-once + bisect: the start-time order is built on the first
+        query after an append, then every query is two binary searches
+        plus one sort of the k hits' positions (which restores the
+        arrival order the old linear scan produced).
+        """
+        if not self.transfer_events:
+            return []
+        if self._start_order is None:
+            starts = np.array(
+                [e.starttime for e in self.transfer_events], dtype=np.float64
+            )
+            self._start_order = np.argsort(starts, kind="stable")
+            self._sorted_starts = starts[self._start_order]
+        lo = int(np.searchsorted(self._sorted_starts, t0, side="left"))
+        hi = int(np.searchsorted(self._sorted_starts, t1, side="left"))
+        positions = np.sort(self._start_order[lo:hi])
+        return [self.transfer_events[i] for i in positions.tolist()]
 
     def jobs_completed_in_window(self, t0: float, t1: float) -> List[Job]:
         """Jobs whose end falls in [t0, t1) — the query module only

@@ -97,6 +97,27 @@ class DegradationConfig:
     def drop_taskid_p(self, activity: TransferActivity) -> float:
         return self.p_drop_jeditaskid.get(activity, self.p_drop_jeditaskid_default)
 
+    @classmethod
+    def lossless(cls) -> "DegradationConfig":
+        """A config that injects no defects at all.
+
+        Used by the live streaming tap (:mod:`repro.stream.log`), where
+        the per-record projection must be a pure schema mapping: every
+        drop probability zero, no site/size corruption, no block
+        rewriting, no timestamp rounding.
+        """
+        return cls(
+            p_drop_transfer=0.0,
+            p_drop_file=0.0,
+            p_drop_jeditaskid={},
+            p_unknown_destination={},
+            p_unknown_source={},
+            p_size_imprecise={},
+            production_block_granularity=False,
+            round_timestamps=False,
+            p_drop_jeditaskid_default=0.0,
+        )
+
 
 @dataclass
 class DegradedTelemetry:
