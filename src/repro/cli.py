@@ -61,15 +61,24 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
              "MatchFrame arrays and runs vectorized analyses, 'row' the "
              "reference per-record loops (identical results; default "
              "%(default)s)")
+    p.add_argument(
+        "--obs", action="store_true",
+        help="collect spans and metrics while running and print a "
+             "per-stage summary to stderr (results are unaffected)")
 
 
 def _study(args) -> EightDayStudy:
+    from repro.obs import Obs
+
     cfg = EightDayConfig(seed=args.seed, days=args.days, intensity=args.intensity)
+    obs = Obs.collecting() if getattr(args, "obs", False) else None
+    args.obs_bundle = obs
     print(f"simulating {args.days:g} days (seed {args.seed}) ...", file=sys.stderr)
     return EightDayStudy(
         cfg,
         engine=getattr(args, "engine", None),
         frame=getattr(args, "frame", None),
+        obs=obs,
     ).run()
 
 
@@ -225,6 +234,48 @@ def cmd_anomalies(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run the campaign under full observability and write trace artifacts.
+
+    Executes matching, the §5 analysis batch, and a streaming replay
+    with an enabled :class:`~repro.obs.Obs` bundle, then writes a
+    Chrome-trace file (``trace.json``, load in ``chrome://tracing`` or
+    Perfetto) and a flat metrics/span snapshot (``metrics.json``) to
+    ``--out`` and prints the per-stage wall-time table.
+    """
+    import os
+
+    from repro.obs import Obs
+    from repro.reporting import (
+        render_stage_summary,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+
+    obs = Obs.collecting()
+    cfg = EightDayConfig(seed=args.seed, days=args.days, intensity=args.intensity)
+    print(f"simulating {args.days:g} days (seed {args.seed}) ...", file=sys.stderr)
+    study = EightDayStudy(
+        cfg, engine=args.engine, frame=args.frame, obs=obs
+    ).run()
+    report = study.matching_report(workers=args.workers)
+    study.analyses(workers=args.workers)
+    processor = study.stream(batch_seconds=args.batch_hours * 3600.0)
+
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, "trace.json")
+    metrics_path = os.path.join(args.out, "metrics.json")
+    n_events = write_chrome_trace(trace_path, obs.tracer)
+    write_metrics_json(metrics_path, obs)
+
+    print(render_stage_summary(obs.tracer, top=args.top))
+    print(f"\nmatched jobs (rm2)   : {report['rm2'].n_matched_jobs}")
+    print(f"stream batches       : {processor.metrics().n_batches}")
+    print(f"wrote {n_events} trace events to {trace_path}")
+    print(f"wrote metrics snapshot to {metrics_path}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.reporting.markdown import write_markdown_report
 
@@ -308,6 +359,19 @@ def build_parser() -> argparse.ArgumentParser:
                                 "before a job window closes")
         p.set_defaults(fn=fn)
 
+    pr = sub.add_parser(
+        "profile",
+        help="run matching + analyses + streaming under the tracer and "
+             "write Chrome-trace / metrics artifacts")
+    _add_campaign_args(pr)
+    pr.add_argument("--out", default="repro_profile",
+                    help="artifact directory (default %(default)s)")
+    pr.add_argument("--batch-hours", type=float, default=6.0, metavar="HOURS",
+                    help="streaming micro-batch span (default %(default)s)")
+    pr.add_argument("--top", type=int, default=20,
+                    help="rows in the stage summary table (0 = all)")
+    pr.set_defaults(fn=cmd_profile)
+
     g = sub.add_parser("growth", help="print the Fig 2 volume series")
     g.set_defaults(fn=cmd_growth)
 
@@ -322,7 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    rc = args.fn(args)
+    obs = getattr(args, "obs_bundle", None)
+    if obs is not None and args.fn is not cmd_profile:
+        from repro.reporting import render_stage_summary
+
+        print("\n" + render_stage_summary(obs.tracer, top=15), file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

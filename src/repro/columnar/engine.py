@@ -40,6 +40,7 @@ from repro.columnar.interner import StringInterner
 from repro.columnar.packs import WindowColumns
 from repro.core.matching.base import BaseMatcher, JobMatch, MatchResult
 from repro.core.matching.rm2 import RM2Matcher
+from repro.obs import get_obs
 from repro.telemetry.records import (
     UNKNOWN_SITE,
     FileRecord,
@@ -141,6 +142,14 @@ class ColumnarIndex:
     # -- join construction -------------------------------------------------------
 
     def _build_join(self) -> None:
+        with get_obs().tracer.span("columnar.build_join", cat="kernel") as sp:
+            self._build_join_inner()
+            sp.set("n_jobs", len(self.jobs))
+            sp.set("n_files", len(self.files))
+            sp.set("n_transfers", len(self.transfers))
+            sp.set("n_candidates", len(self.cand_job))
+
+    def _build_join_inner(self) -> None:
         jp, fp, tp = self.columns.jobs, self.columns.files, self.columns.transfers
         n_jobs = len(jp)
 
@@ -286,6 +295,20 @@ class ColumnarIndex:
                 f"matcher {matcher.name!r} overrides row predicates the "
                 "columnar engine cannot lower; run it on the row engine"
             )
+        obs = get_obs()
+        with obs.tracer.span("columnar.run", cat="kernel") as sp:
+            sp.set("method", matcher.name)
+            sp.set("n_candidates", len(self.cand_job))
+            result = self._run_inner(matcher, n_transfers_considered)
+            sp.set("n_matches", len(result.matches))
+        if obs.enabled:
+            obs.metrics.counter("kernel.calls", kernel="columnar.run").inc()
+            obs.metrics.counter(
+                "kernel.rows", kernel="columnar.run"
+            ).inc(len(self.cand_job))
+        return result
+
+    def _run_inner(self, matcher: BaseMatcher, n_transfers_considered: int) -> MatchResult:
         if type(matcher).site_ok is RM2Matcher.site_ok:
             site_mask = self._site_mask(self._uncertain_codes(matcher))
         else:

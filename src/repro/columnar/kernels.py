@@ -25,7 +25,10 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.obs import instrument_kernel
 
+
+@instrument_kernel("segmented_cummax", rows=lambda values, seg_id: len(values))
 def segmented_cummax(values: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
     """Per-segment running maximum (segments = equal ``seg_id`` runs).
 
@@ -47,6 +50,10 @@ def segmented_cummax(values: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
     return out
 
 
+@instrument_kernel(
+    "interval_union_lengths",
+    rows=lambda lo, hi, job_offsets, t_start, t_end: len(t_start),
+)
 def interval_union_lengths(
     lo: np.ndarray,
     hi: np.ndarray,
@@ -98,6 +105,7 @@ def interval_union_lengths(
     return totals
 
 
+@instrument_kernel("first_occurrences", rows=lambda values: len(values))
 def first_occurrences(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """``(unique_values, first_positions)`` — the dedup the row engine's
     ``seen``-set loops perform, as one ``np.unique`` pass.
@@ -109,6 +117,7 @@ def first_occurrences(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return np.unique(values, return_index=True)
 
 
+@instrument_kernel("bucket_accumulate", rows=lambda times, *a, **k: len(times))
 def bucket_accumulate(
     times: np.ndarray,
     weights: np.ndarray,
@@ -139,6 +148,7 @@ def bucket_accumulate(
     return out
 
 
+@instrument_kernel("group_boundaries", rows=lambda sorted_ids: len(sorted_ids))
 def group_boundaries(sorted_ids: np.ndarray) -> np.ndarray:
     """Start positions of each run of equal ids (non-decreasing input)."""
     if len(sorted_ids) == 0:

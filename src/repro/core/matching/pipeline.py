@@ -26,6 +26,7 @@ from repro.exec.artifacts import ArtifactCache, WindowArtifacts
 from repro.exec.executor import Executor, SerialExecutor
 from repro.exec.plan import WindowPlan
 from repro.metastore.opensearch import OpenSearchLike
+from repro.obs import Obs, use_obs
 from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
 
 __all__ = ["MatchingPipeline", "MatchingReport"]
@@ -53,6 +54,13 @@ class MatchingPipeline:
         Join engine — ``"row"`` (dict join + Python loops) or
         ``"columnar"`` (interned packs + vectorized kernels, the
         default).  Output is bit-identical either way.
+    obs:
+        Observability bundle (:class:`~repro.obs.Obs`).  When given it
+        is installed as the ambient context for the duration of every
+        :meth:`run` / :meth:`sweep`, so the metastore, artifact,
+        kernel, and executor instrumentation underneath records into
+        it; when omitted the ambient context (disabled by default) is
+        left alone.  Instrumentation never alters results.
     """
 
     def __init__(
@@ -63,11 +71,13 @@ class MatchingPipeline:
         cache: Optional[ArtifactCache] = None,
         executor: Optional[Executor] = None,
         engine: Optional[str] = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.source = source
         self.known_sites = known_sites or set()
         self.user_jobs_only = user_jobs_only
         self.engine = validate_engine(engine) if engine is not None else None
+        self.obs = obs
         self.cache = cache if cache is not None else ArtifactCache(source, engine=engine)
         self.executor = (
             executor
@@ -123,10 +133,14 @@ class MatchingPipeline:
     ) -> List[MatchingReport]:
         """Execute many plans through the (possibly parallel) executor."""
         ex = executor if executor is not None else self.executor
-        return ex.execute(
-            self.source,
-            plans,
-            matchers=matchers,
-            known_sites=self.known_sites,
-            engine=engine or self.engine,
-        )
+        with use_obs(self.obs) as obs:
+            with obs.tracer.span("pipeline.sweep", cat="executor") as sp:
+                sp.set("n_plans", len(plans))
+                sp.set("workers", ex.workers)
+                return ex.execute(
+                    self.source,
+                    plans,
+                    matchers=matchers,
+                    known_sites=self.known_sites,
+                    engine=engine or self.engine,
+                )

@@ -48,6 +48,7 @@ from repro.core.matching.base import (
     MatchResult,
 )
 from repro.exec.plan import WindowPlan
+from repro.obs import get_obs
 from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
 
 
@@ -172,15 +173,19 @@ def match_artifacts(
     etc.) silently runs on the row engine — correctness always wins.
     """
     chosen = validate_engine(engine or artifacts.engine)
-    if chosen == "columnar" and supports_columnar(matcher):
-        return artifacts.columnar.run(
-            matcher, n_transfers_considered=artifacts.n_transfers_with_taskid
+    with get_obs().tracer.span("executor.task", cat="executor") as sp:
+        sp.set("method", matcher.name)
+        if chosen == "columnar" and supports_columnar(matcher):
+            sp.set("engine", "columnar")
+            return artifacts.columnar.run(
+                matcher, n_transfers_considered=artifacts.n_transfers_with_taskid
+            )
+        sp.set("engine", "row")
+        return matcher.run(
+            artifacts.jobs,
+            artifacts.index,
+            n_transfers_considered=artifacts.n_transfers_with_taskid,
         )
-    return matcher.run(
-        artifacts.jobs,
-        artifacts.index,
-        n_transfers_considered=artifacts.n_transfers_with_taskid,
-    )
 
 
 def build_report(
@@ -219,27 +224,47 @@ class ArtifactCache:
         self._entries: "OrderedDict[tuple, WindowArtifacts]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, plan: WindowPlan) -> WindowArtifacts:
+        obs = get_obs()
         generation = getattr(self.source, "generation", 0)
         key = plan.key(generation)
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            if obs.enabled:
+                obs.metrics.counter("artifact.cache", event="hit").inc()
             self._entries.move_to_end(key)
             return cached
 
         self.misses += 1
+        if obs.enabled:
+            obs.metrics.counter("artifact.cache", event="miss").inc()
         # Entries from older generations are dead; drop them all.
         stale = [k for k in self._entries if k[3] != generation]
         for k in stale:
             del self._entries[k]
+        self._evicted(obs, len(stale))
 
-        artifacts = WindowArtifacts.materialize(self.source, plan, engine=self.engine)
+        with obs.tracer.span("artifact.materialize", cat="artifact") as sp:
+            artifacts = WindowArtifacts.materialize(self.source, plan, engine=self.engine)
+            sp.set("t0", plan.t0)
+            sp.set("t1", plan.t1)
+            sp.set("n_jobs", len(artifacts.jobs))
+            sp.set("n_files", len(artifacts.files))
+            sp.set("n_transfers", len(artifacts.transfers))
         self._entries[key] = artifacts
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self._evicted(obs, 1)
         return artifacts
+
+    def _evicted(self, obs, n: int) -> None:
+        if n:
+            self.evictions += n
+            if obs.enabled:
+                obs.metrics.counter("artifact.cache", event="evict").inc(n)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -249,4 +274,9 @@ class ArtifactCache:
 
     @property
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }

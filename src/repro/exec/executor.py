@@ -38,6 +38,7 @@ from repro.core.matching.rm1 import RM1Matcher
 from repro.core.matching.rm2 import RM2Matcher
 from repro.exec.artifacts import ArtifactCache, build_report, match_artifacts
 from repro.exec.plan import WindowPlan
+from repro.obs import get_obs
 
 
 def default_matchers(known_sites=None) -> List[BaseMatcher]:
@@ -111,7 +112,17 @@ class SerialExecutor(Executor):
         matchers = list(matchers) if matchers is not None else default_matchers(known_sites)
         eng = self._engine(engine)
         cache = self._cache_for(source)
-        return [build_report(cache.get(plan), matchers, engine=eng) for plan in plans]
+        tracer = get_obs().tracer
+        reports = []
+        for plan in plans:
+            with tracer.span("executor.window", cat="executor") as sp:
+                report = build_report(cache.get(plan), matchers, engine=eng)
+                sp.set("t0", plan.t0)
+                sp.set("t1", plan.t1)
+                sp.set("n_jobs", report.n_jobs)
+                sp.set("n_matchers", len(matchers))
+            reports.append(report)
+        return reports
 
 
 # -- process-pool plumbing ----------------------------------------------------
@@ -212,18 +223,25 @@ class ParallelExecutor(Executor):
         (``key[0] == "bare"``) carries no worker state and any live
         pool can serve it.
         """
+        obs = get_obs()
         if self._pool is not None:
             if key == self._pool_key or key[0] == "bare":
+                if obs.enabled:
+                    obs.metrics.counter("executor.pool", event="reuse").inc()
                 return self._pool
             self._pool.shutdown(wait=True)
             self._pool = None
         self.pool_inits += 1
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=self._mp_context,
-            initializer=_worker_init if initargs is not None else None,
-            initargs=initargs if initargs is not None else (),
-        )
+        if obs.enabled:
+            obs.metrics.counter("executor.pool", event="init").inc()
+        with obs.tracer.span("executor.pool_init", cat="executor") as sp:
+            sp.set("workers", self.workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._mp_context,
+                initializer=_worker_init if initargs is not None else None,
+                initargs=initargs if initargs is not None else (),
+            )
         self._pool_key = key
         return self._pool
 
@@ -251,7 +269,10 @@ class ParallelExecutor(Executor):
         if not items:
             return []
         pool = self._pool_for(("bare",))
-        return list(pool.map(fn, items))
+        with get_obs().tracer.span("executor.map", cat="executor") as sp:
+            sp.set("n_items", len(items))
+            sp.set("workers", self.workers)
+            return list(pool.map(fn, items))
 
     def map_with_source(
         self, fn: Callable, items: Iterable, source, engine: Optional[str] = None
@@ -267,7 +288,10 @@ class ParallelExecutor(Executor):
             return []
         eng = self._engine(engine)
         pool = self._pool_for(self._source_key(source, eng), initargs=(source, eng))
-        return list(pool.map(fn, items))
+        with get_obs().tracer.span("executor.map", cat="executor") as sp:
+            sp.set("n_items", len(items))
+            sp.set("workers", self.workers)
+            return list(pool.map(fn, items))
 
     def execute(
         self,
@@ -293,7 +317,11 @@ class ParallelExecutor(Executor):
             # even though several workers materialize the same window.
             chunksize = 1
         pool = self._pool_for(self._source_key(source, eng), initargs=(source, eng))
-        partials = list(pool.map(_worker_task, tasks, chunksize=chunksize))
+        with get_obs().tracer.span("executor.map", cat="executor") as sp:
+            sp.set("n_tasks", len(tasks))
+            sp.set("workers", self.workers)
+            sp.set("chunksize", chunksize)
+            partials = list(pool.map(_worker_task, tasks, chunksize=chunksize))
 
         reports: List[MatchingReport] = []
         cursor = iter(partials)

@@ -16,6 +16,7 @@ from repro.columnar.interner import StringInterner
 from repro.columnar.packs import WindowColumns
 from repro.metastore.query import Bool, Query, Range, Term, Terms
 from repro.metastore.store import Collection, DocumentStore
+from repro.obs import get_obs
 from repro.telemetry.degradation import DegradedTelemetry
 from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
 
@@ -117,18 +118,26 @@ class OpenSearchLike:
         would for a bulk ingest.
         """
         jobs, files, transfers = list(jobs), list(files), list(transfers)
-        had_packs = self._packs is not None
-        n = 0
-        if jobs:
-            n += self.jobs.append(jobs)
-        if files:
-            n += self.files.append(files)
-        if transfers:
-            n += self.transfers.append(transfers)
-        self._warm(jobs, files, transfers)
-        if n and had_packs:
-            self._packs = self._packs.extend(jobs, files, transfers)
-            self._packs_generation = self.generation
+        obs = get_obs()
+        with obs.tracer.span("metastore.ingest_batch", cat="metastore") as sp:
+            had_packs = self._packs is not None
+            n = 0
+            if jobs:
+                n += self.jobs.append(jobs)
+            if files:
+                n += self.files.append(files)
+            if transfers:
+                n += self.transfers.append(transfers)
+            self._warm(jobs, files, transfers)
+            if n and had_packs:
+                self._packs = self._packs.extend(jobs, files, transfers)
+                self._packs_generation = self.generation
+            sp.set("n_jobs", len(jobs))
+            sp.set("n_files", len(files))
+            sp.set("n_transfers", len(transfers))
+            sp.set("extended_packs", bool(n and had_packs))
+        if obs.enabled:
+            obs.metrics.counter("metastore.ingested_records").inc(n)
         return n
 
     # -- columnar lowering ----------------------------------------------------
@@ -145,10 +154,15 @@ class OpenSearchLike:
         """
         gen = self.generation
         if self._packs is None or self._packs_generation != gen:
-            self._packs = WindowColumns.lower(
-                list(self.jobs), list(self.files), list(self.transfers), self.interner
-            )
-            self._packs_generation = gen
+            with get_obs().tracer.span("metastore.lower_packs", cat="metastore") as sp:
+                self._packs = WindowColumns.lower(
+                    list(self.jobs), list(self.files), list(self.transfers),
+                    self.interner,
+                )
+                self._packs_generation = gen
+                sp.set("n_jobs", len(self.jobs))
+                sp.set("n_files", len(self.files))
+                sp.set("n_transfers", len(self.transfers))
         return self._packs
 
     def materialize_window(
@@ -162,24 +176,30 @@ class OpenSearchLike:
         lists (identical to the individual query methods) and to column
         packs gathered from :meth:`column_packs`.
         """
-        packs = self.column_packs()
-        if user_jobs_only:
-            job_query: Query = Bool(
-                must=[Range("endtime", gte=t0, lt=t1), Term("prodsourcelabel", "user")]
+        with get_obs().tracer.span("metastore.materialize_window", cat="metastore") as sp:
+            packs = self.column_packs()
+            if user_jobs_only:
+                job_query: Query = Bool(
+                    must=[Range("endtime", gte=t0, lt=t1), Term("prodsourcelabel", "user")]
+                )
+            else:
+                job_query = Range("endtime", gte=t0, lt=t1)
+            job_ids = self.jobs.search_ids(job_query)
+            transfer_ids = self.transfers.search_ids(Range("starttime", gte=t0, lt=t1))
+            file_ids = self.files.search_ids(
+                Terms("pandaid", packs.jobs.pandaid[job_ids].tolist())
             )
-        else:
-            job_query = Range("endtime", gte=t0, lt=t1)
-        job_ids = self.jobs.search_ids(job_query)
-        transfer_ids = self.transfers.search_ids(Range("starttime", gte=t0, lt=t1))
-        file_ids = self.files.search_ids(
-            Terms("pandaid", packs.jobs.pandaid[job_ids].tolist())
-        )
-        return (
-            self.jobs.take(job_ids),
-            self.files.take(file_ids),
-            self.transfers.take(transfer_ids),
-            packs.take(job_ids, file_ids, transfer_ids),
-        )
+            sp.set("t0", t0)
+            sp.set("t1", t1)
+            sp.set("n_jobs", len(job_ids))
+            sp.set("n_files", len(file_ids))
+            sp.set("n_transfers", len(transfer_ids))
+            return (
+                self.jobs.take(job_ids),
+                self.files.take(file_ids),
+                self.transfers.take(transfer_ids),
+                packs.take(job_ids, file_ids, transfer_ids),
+            )
 
     # -- the retrieval patterns §4.2 relies on -------------------------------
 
@@ -210,7 +230,11 @@ class OpenSearchLike:
         job during preselection; results come back in storage order,
         which is deterministic across processes.
         """
-        return self.files.search(Terms("pandaid", pandaids))
+        with get_obs().tracer.span("metastore.files_of_jobs", cat="metastore") as sp:
+            hits = self.files.search(Terms("pandaid", pandaids))
+            sp.set("n_jobs", len(pandaids))
+            sp.set("n_hits", len(hits))
+            return hits
 
     def files_of_task(self, jeditaskid: int) -> List[FileRecord]:
         return self.files.search(Term("jeditaskid", jeditaskid))
@@ -221,5 +245,8 @@ class OpenSearchLike:
         return self.store.generation
 
     def search(self, collection: str, query: Query, description: str = "") -> SearchResult:
-        hits = self.store.collection(collection).search(query)
+        with get_obs().tracer.span("metastore.search", cat="metastore") as sp:
+            hits = self.store.collection(collection).search(query)
+            sp.set("collection", collection)
+            sp.set("n_hits", len(hits))
         return SearchResult(collection=collection, query_description=description, hits=hits)

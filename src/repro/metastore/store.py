@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.metastore.index import FieldIndex
 from repro.metastore.query import Query
+from repro.obs import SIZE_BUCKETS, get_obs
 
 
 def _as_mapping(doc: Any) -> Dict[str, Any]:
@@ -99,10 +100,21 @@ class Collection:
         """
         evaluate_ids = getattr(query, "evaluate_ids", None)
         if evaluate_ids is not None:
-            return np.sort(evaluate_ids(self))
-        ids = query.evaluate(self)
-        arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
-        arr.sort()
+            arr = np.sort(evaluate_ids(self))
+            path = "array"
+        else:
+            ids = query.evaluate(self)
+            arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
+            arr.sort()
+            path = "set"
+        obs = get_obs()
+        if obs.enabled:
+            obs.metrics.counter(
+                "metastore.queries", collection=self.name, path=path
+            ).inc()
+            obs.metrics.histogram(
+                "metastore.hit_size", edges=SIZE_BUCKETS, collection=self.name
+            ).observe(len(arr))
         return arr
 
     def take(self, ids: np.ndarray) -> List[Any]:

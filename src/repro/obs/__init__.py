@@ -1,0 +1,54 @@
+"""Unified observability: span tracing + metrics for the whole stack.
+
+The paper's method is introspection of a distributed system from its
+telemetry; this package gives the reproduction the same property about
+*itself*.  Every layer of the dataplane — metastore queries, artifact
+materializations, columnar kernels, executor scheduling, the streaming
+processor — emits spans into a :class:`Tracer` and scalars into a
+:class:`MetricsRegistry`, both reached through the ambient
+:func:`get_obs` context (disabled, and effectively free, by default).
+
+* :mod:`repro.obs.tracer` — :class:`Span` / :class:`Tracer`
+  (context-manager + decorator API, injectable clock,
+  :class:`TickClock` for deterministic traces);
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, and fixed-bucket histograms;
+* :mod:`repro.obs.context` — the :class:`Obs` bundle, the ambient
+  :func:`get_obs` / :func:`use_obs` scope, and the
+  :func:`instrument_kernel` decorator.
+
+Exporters (Chrome ``trace_event`` JSON, flat metrics JSON, per-stage
+summaries) live in :mod:`repro.reporting.obs`; ``python -m repro
+profile`` drives the whole thing end to end.  See DESIGN.md §10.
+"""
+
+from repro.obs.context import Obs, get_obs, instrument_kernel, set_obs, use_obs
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_INSTRUMENT,
+)
+from repro.obs.tracer import NOOP_SPAN, Span, TickClock, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NOOP_INSTRUMENT",
+    "NOOP_SPAN",
+    "Obs",
+    "SIZE_BUCKETS",
+    "Span",
+    "TickClock",
+    "Tracer",
+    "get_obs",
+    "instrument_kernel",
+    "set_obs",
+    "use_obs",
+]

@@ -1,0 +1,115 @@
+"""The ambient observability context.
+
+Instrumented code throughout the dataplane reads one process-global
+:class:`Obs` bundle (tracer + metrics registry) through
+:func:`get_obs`.  The default bundle is *disabled*: ``span()`` returns
+the shared no-op singleton and metric lookups return the shared no-op
+instrument, so the instrumentation's steady-state cost is one global
+read and one attribute check per call site.
+
+Enablement is scoped, not flag-flipped: :func:`use_obs` installs a
+bundle for the duration of a ``with`` block and restores the previous
+one after — the pattern behind ``EightDayStudy(obs=...)``, the CLI's
+``--obs`` flag, and the tests.  Worker processes spawned by
+:class:`~repro.exec.executor.ParallelExecutor` inherit the disabled
+default (the bundle is deliberately never pickled); parent-side spans
+still bracket every pool operation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class Obs:
+    """One observability bundle: a tracer and a metrics registry."""
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else Tracer(enabled=enabled)
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=enabled)
+
+    @classmethod
+    def disabled(cls) -> "Obs":
+        return cls(enabled=False)
+
+    @classmethod
+    def collecting(cls, clock: Optional[Callable[[], float]] = None) -> "Obs":
+        """An enabled bundle; pass a clock for deterministic spans."""
+        return cls(tracer=Tracer(clock=clock), metrics=MetricsRegistry())
+
+
+_AMBIENT: Obs = Obs.disabled()
+
+
+def get_obs() -> Obs:
+    """The currently installed bundle (disabled unless someone enabled it)."""
+    return _AMBIENT
+
+
+def set_obs(obs: Obs) -> Obs:
+    """Install ``obs`` as the ambient bundle; returns the previous one."""
+    global _AMBIENT
+    previous = _AMBIENT
+    _AMBIENT = obs
+    return previous
+
+
+@contextmanager
+def use_obs(obs: Optional[Obs]):
+    """Scoped installation; ``use_obs(None)`` leaves the ambient as-is.
+
+    The ``None`` passthrough lets components with an optional ``obs``
+    attribute write ``with use_obs(self.obs):`` unconditionally.
+    """
+    if obs is None:
+        yield get_obs()
+        return
+    previous = set_obs(obs)
+    try:
+        yield obs
+    finally:
+        set_obs(previous)
+
+
+def instrument_kernel(name: str, rows: Optional[Callable[..., int]] = None) -> Callable:
+    """Decorator: per-call span + rows-processed counters for one kernel.
+
+    ``rows(*args, **kwargs)`` computes the element count the kernel
+    touches (for the ``kernel.rows`` counter and the span's ``rows``
+    attribute).  When the ambient bundle is disabled the wrapper is a
+    single global read and boolean check — no span, no counters.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        import functools
+
+        span_name = f"kernel.{name}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            obs = get_obs()
+            if not obs.enabled:
+                return fn(*args, **kwargs)
+            n = int(rows(*args, **kwargs)) if rows is not None else 0
+            with obs.tracer.span(span_name, cat="kernel") as sp:
+                sp.set("rows", n)
+                out = fn(*args, **kwargs)
+            obs.metrics.counter("kernel.calls", kernel=name).inc()
+            obs.metrics.counter("kernel.rows", kernel=name).inc(n)
+            return out
+
+        return wrapper
+
+    return deco

@@ -1,0 +1,170 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the scalar half of the observability
+layer: where spans record *when* something ran, metrics record *how
+often* and *how big* — metastore query counts per collection, artifact
+cache hits/misses/evictions, kernel rows processed, watermark lag.
+
+Instruments are keyed by ``(name, labels)`` so one registry holds e.g.
+``metastore.queries{collection=jobs}`` and
+``metastore.queries{collection=transfers}`` side by side.  A disabled
+registry hands out shared no-op instruments, so call sites need no
+conditionals.  ``snapshot()`` freezes everything into a deterministic,
+JSON-ready dict (sorted by name then labels).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Default latency bucket edges, in seconds.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0
+)
+
+#: Default result-size bucket edges (hit counts, row counts).
+SIZE_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-edge histogram with count and sum.
+
+    ``edges`` are upper bounds: an observation ``v`` lands in the first
+    bucket whose edge satisfies ``v <= edge`` (``bisect_left``, so a
+    value exactly on an edge counts *in* that edge's bucket); values
+    above the last edge land in the overflow bucket.
+    """
+
+    __slots__ = ("edges", "counts", "count", "sum")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be non-empty and sorted")
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)  # +1: overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+
+
+class _NoopInstrument:
+    """Shared sink for disabled registries — accepts every call."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NOOP_INSTRUMENT = _NoopInstrument()
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class MetricsRegistry:
+    """Labelled instruments, created on first use."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> Tuple[str, _LabelKey]:
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def counter(self, name: str, **labels):
+        if not self.enabled:
+            return NOOP_INSTRUMENT
+        key = self._key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels):
+        if not self.enabled:
+            return NOOP_INSTRUMENT
+        key = self._key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str, edges: Optional[Sequence[float]] = None, **labels):
+        if not self.enabled:
+            return NOOP_INSTRUMENT
+        key = self._key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                edges if edges is not None else LATENCY_BUCKETS
+            )
+        return inst
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything observed so far, as a flat JSON-ready dict."""
+
+        def rows(table, render):
+            return [
+                {"name": name, "labels": dict(labels), **render(inst)}
+                for (name, labels), inst in sorted(table.items())
+            ]
+
+        return {
+            "counters": rows(self._counters, lambda c: {"value": c.value}),
+            "gauges": rows(self._gauges, lambda g: {"value": g.value}),
+            "histograms": rows(
+                self._histograms,
+                lambda h: {
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                },
+            ),
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

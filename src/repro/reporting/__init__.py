@@ -1,8 +1,16 @@
-"""Rendering and export: text tables, figure series, CSV/JSON."""
+"""Rendering and export: text tables, figure series, CSV/JSON, traces."""
 
 from repro.reporting.tables import render_table, render_activity_table, render_method_tables
 from repro.reporting.figures import series_to_rows, sparkline, render_timeline
 from repro.reporting.export import rows_to_csv, to_json_file
+from repro.reporting.obs import (
+    chrome_trace,
+    metrics_snapshot,
+    render_stage_summary,
+    stage_summary,
+    write_chrome_trace,
+    write_metrics_json,
+)
 
 __all__ = [
     "render_table",
@@ -13,4 +21,10 @@ __all__ = [
     "render_timeline",
     "rows_to_csv",
     "to_json_file",
+    "chrome_trace",
+    "metrics_snapshot",
+    "render_stage_summary",
+    "stage_summary",
+    "write_chrome_trace",
+    "write_metrics_json",
 ]

@@ -1,0 +1,111 @@
+"""Exporters for the observability layer.
+
+Two artifact formats, both plain JSON:
+
+* **Chrome trace** — the ``trace_event`` format (``"X"`` complete
+  events with microsecond ``ts``/``dur``), loadable in
+  ``chrome://tracing`` / Perfetto; span attributes land in ``args`` and
+  the span category in ``cat``, so the UI can filter by stage
+  (``metastore``, ``artifact``, ``kernel``, ``executor``, ``stream``,
+  ``study``);
+* **flat metrics JSON** — the registry's :meth:`snapshot` plus a span
+  census, for diffing between runs and for the overhead gate in
+  ``benchmarks/``.
+
+Both exports are deterministic given a deterministic tracer clock:
+events are emitted in span start order and metrics sorted by name and
+labels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.reporting.export import PathLike, to_json_file
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard for type hints
+    from repro.obs import MetricsRegistry, Obs, Tracer
+
+
+def chrome_trace(tracer: "Tracer", pid: int = 1, tid: int = 1) -> dict:
+    """The tracer's finished spans as a Chrome ``trace_event`` document."""
+    events: List[dict] = []
+    for span in sorted(tracer.spans, key=lambda s: (s.start, s.span_id)):
+        event = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": round(span.start * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        args: Dict[str, object] = {"span_id": span.span_id, "depth": span.depth}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        event["args"] = args
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: PathLike, tracer: "Tracer") -> int:
+    """Write the Chrome-trace JSON; returns the event count."""
+    payload = chrome_trace(tracer)
+    to_json_file(path, payload)
+    return len(payload["traceEvents"])
+
+
+def metrics_snapshot(obs: "Obs") -> dict:
+    """Flat metrics document: registry snapshot + span census."""
+    spans_by_cat: Dict[str, dict] = {}
+    for span in obs.tracer.spans:
+        agg = spans_by_cat.setdefault(span.cat, {"spans": 0, "total_s": 0.0})
+        agg["spans"] += 1
+        agg["total_s"] += span.duration
+    return {
+        "metrics": obs.metrics.snapshot(),
+        "spans": {cat: spans_by_cat[cat] for cat in sorted(spans_by_cat)},
+        "n_spans": len(obs.tracer.spans),
+    }
+
+
+def write_metrics_json(path: PathLike, obs: "Obs") -> dict:
+    """Write the flat metrics JSON; returns the written document."""
+    payload = metrics_snapshot(obs)
+    to_json_file(path, payload)
+    return payload
+
+
+def stage_summary(tracer: "Tracer") -> List[dict]:
+    """Per-(category, name) aggregate over finished spans.
+
+    Rows sorted by total duration, descending — the CLI's per-stage
+    summary table.  Nested spans each count their own full duration
+    (the Chrome trace view shows self-time; this table shows totals).
+    """
+    agg: Dict[tuple, dict] = {}
+    for span in tracer.spans:
+        row = agg.setdefault(
+            (span.cat, span.name),
+            {"cat": span.cat, "name": span.name, "count": 0, "total_s": 0.0,
+             "max_s": 0.0},
+        )
+        row["count"] += 1
+        row["total_s"] += span.duration
+        row["max_s"] = max(row["max_s"], span.duration)
+    return sorted(agg.values(), key=lambda r: (-r["total_s"], r["cat"], r["name"]))
+
+
+def render_stage_summary(tracer: "Tracer", top: int = 0) -> str:
+    """The stage summary as a rendered text table."""
+    from repro.reporting.tables import render_table
+
+    rows = stage_summary(tracer)
+    if top:
+        rows = rows[:top]
+    return render_table(
+        ["stage", "span", "count", "total (s)", "max (s)"],
+        [[r["cat"], r["name"], str(r["count"]),
+          f"{r['total_s']:.4f}", f"{r['max_s']:.4f}"] for r in rows],
+    )

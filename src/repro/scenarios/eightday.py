@@ -17,6 +17,7 @@ from repro.core.matching.pipeline import MatchingPipeline, MatchingReport
 from repro.exec.analysis import DEFAULT_ANALYSES, run_analyses
 from repro.exec.executor import Executor, make_executor
 from repro.metastore.opensearch import OpenSearchLike
+from repro.obs import Obs, use_obs
 from repro.scenarios.runtime import HarnessConfig, SimulationHarness
 from repro.telemetry.degradation import DegradationConfig, DegradedTelemetry
 from repro.workload.generator import WorkloadConfig
@@ -66,6 +67,12 @@ class EightDayStudy:
     ``"columnar"``) and ``frame`` the analysis dataplane (row loops vs
     ``MatchFrame`` kernels); reports and analyses are bit-identical
     either way, so both are pure performance knobs.
+
+    ``obs`` threads an observability bundle through every study phase:
+    simulation, ingest, matching, analyses, and stream replay each run
+    under ``use_obs(self.obs)`` with a ``cat="study"`` span around
+    them.  Instrumentation reads no RNG and mutates no observed state,
+    so results stay bit-identical with or without it.
     """
 
     def __init__(
@@ -73,17 +80,22 @@ class EightDayStudy:
         config: Optional[EightDayConfig] = None,
         engine: Optional[str] = None,
         frame: Optional[str] = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.config = config or EightDayConfig()
         self.engine = engine
         self.frame = validate_frame(frame) if frame is not None else None
+        self.obs = obs
         self.harness = SimulationHarness(self.config.harness_config())
         self._source: Optional[OpenSearchLike] = None
         self._pipeline: Optional[MatchingPipeline] = None
         self._report: Optional[MatchingReport] = None
 
     def run(self) -> "EightDayStudy":
-        self.harness.run()
+        with use_obs(self.obs) as obs:
+            with obs.tracer.span("study.simulate", cat="study") as sp:
+                self.harness.run()
+                sp.set("days", self.config.days)
         return self
 
     @property
@@ -93,7 +105,9 @@ class EightDayStudy:
     @property
     def source(self) -> OpenSearchLike:
         if self._source is None:
-            self._source = OpenSearchLike.from_telemetry(self.telemetry)
+            with use_obs(self.obs) as obs:
+                with obs.tracer.span("study.ingest", cat="study"):
+                    self._source = OpenSearchLike.from_telemetry(self.telemetry)
         return self._source
 
     @property
@@ -109,6 +123,7 @@ class EightDayStudy:
                 self.source,
                 known_sites=self.harness.known_site_names(),
                 engine=self.engine,
+                obs=self.obs,
             )
         return self._pipeline
 
@@ -129,7 +144,12 @@ class EightDayStudy:
             t0, t1 = self.harness.window
             ex = executor if executor is not None else make_executor(workers)
             try:
-                self._report = self.pipeline.run(t0, t1, executor=ex, engine=engine)
+                with use_obs(self.obs) as obs:
+                    with obs.tracer.span("study.match", cat="study") as sp:
+                        sp.set("workers", ex.workers)
+                        self._report = self.pipeline.run(
+                            t0, t1, executor=ex, engine=engine
+                        )
             finally:
                 if executor is None:
                     ex.close()
@@ -153,15 +173,17 @@ class EightDayStudy:
         from repro.stream import replay_window
 
         t0, t1 = self.harness.window
-        return replay_window(
-            self.telemetry,
-            t0,
-            t1,
-            known_sites=self.harness.known_site_names(),
-            batch_seconds=batch_seconds,
-            batch_events=batch_events,
-            lateness=lateness,
-        )
+        with use_obs(self.obs) as obs:
+            with obs.tracer.span("study.stream", cat="study"):
+                return replay_window(
+                    self.telemetry,
+                    t0,
+                    t1,
+                    known_sites=self.harness.known_site_names(),
+                    batch_seconds=batch_seconds,
+                    batch_events=batch_events,
+                    lateness=lateness,
+                )
 
     def analyses(
         self,
@@ -179,18 +201,23 @@ class EightDayStudy:
         are bit-identical across every (workers, engine, frame)
         combination.
         """
+        specs = list(specs)
         t0, t1 = self.harness.window
         ex = executor if executor is not None else make_executor(workers)
         try:
-            return run_analyses(
-                self.source,
-                self.pipeline.plan(t0, t1),
-                specs,
-                known_sites=self.harness.known_site_names(),
-                executor=ex,
-                engine=engine or self.engine,
-                frame=frame if frame is not None else self.frame,
-            )
+            with use_obs(self.obs) as obs:
+                with obs.tracer.span("study.analyze", cat="study") as sp:
+                    sp.set("n_specs", len(specs))
+                    sp.set("workers", ex.workers)
+                    return run_analyses(
+                        self.source,
+                        self.pipeline.plan(t0, t1),
+                        specs,
+                        known_sites=self.harness.known_site_names(),
+                        executor=ex,
+                        engine=engine or self.engine,
+                        frame=frame if frame is not None else self.frame,
+                    )
         finally:
             if executor is None:
                 ex.close()

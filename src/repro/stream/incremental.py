@@ -42,6 +42,7 @@ from repro.columnar.engine import ColumnarIndex, supports_columnar
 from repro.core.matching.base import BaseMatcher, JobMatch, MatchingReport, MatchResult
 from repro.exec.executor import default_matchers
 from repro.metastore.opensearch import OpenSearchLike
+from repro.obs import get_obs
 from repro.stream.folds import FoldSet
 from repro.stream.log import EventKind, EventLog, StreamEvent
 from repro.stream.metrics import StreamMetrics, _MetricsAccumulator
@@ -333,17 +334,23 @@ class StreamProcessor:
         if self._finished:
             raise RuntimeError("stream already finished")
         events = list(events)
-        t_start = perf_counter()
-        times = self.matcher.ingest(events)
-        late = sum(1 for t in times if self.tracker.is_late(t))
-        for t in times:
-            self.tracker.observe(t)
-        t_ingested = perf_counter()
-        n_closed, finalized = self.matcher.close_ready(self.tracker.watermark)
-        t_matched = perf_counter()
-        delta = self._emit(finalized, n_closed, len(events))
-        self.folds.update(delta)
-        t_folded = perf_counter()
+        obs = get_obs()
+        with obs.tracer.span("stream.batch", cat="stream") as sp:
+            t_start = perf_counter()
+            times = self.matcher.ingest(events)
+            late = sum(1 for t in times if self.tracker.is_late(t))
+            for t in times:
+                self.tracker.observe(t)
+            t_ingested = perf_counter()
+            n_closed, finalized = self.matcher.close_ready(self.tracker.watermark)
+            t_matched = perf_counter()
+            delta = self._emit(finalized, n_closed, len(events))
+            self.folds.update(delta)
+            t_folded = perf_counter()
+            sp.set("batch_id", delta.batch_id)
+            sp.set("n_events", len(events))
+            sp.set("n_closed", n_closed)
+            sp.set("n_late", late)
 
         acc = self._acc
         acc.n_batches += 1
@@ -356,6 +363,7 @@ class StreamProcessor:
         acc.ingest_s += t_ingested - t_start
         acc.match_s += t_matched - t_ingested
         acc.fold_s += t_folded - t_matched
+        self._observe_metrics(obs, late, len(events))
         return delta
 
     def finish(self) -> MatchDelta:
@@ -363,17 +371,36 @@ class StreamProcessor:
         if self._finished:
             raise RuntimeError("stream already finished")
         self._finished = True
-        t_start = perf_counter()
-        self.tracker.close()
-        n_closed, finalized = self.matcher.close_ready(self.tracker.watermark)
-        t_matched = perf_counter()
-        delta = self._emit(finalized, n_closed, 0)
-        self.folds.update(delta)
-        t_folded = perf_counter()
+        obs = get_obs()
+        with obs.tracer.span("stream.finish", cat="stream") as sp:
+            t_start = perf_counter()
+            self.tracker.close()
+            n_closed, finalized = self.matcher.close_ready(self.tracker.watermark)
+            t_matched = perf_counter()
+            delta = self._emit(finalized, n_closed, 0)
+            self.folds.update(delta)
+            t_folded = perf_counter()
+            sp.set("n_closed", n_closed)
         self._acc.n_batches += 1
         self._acc.match_s += t_matched - t_start
         self._acc.fold_s += t_folded - t_matched
+        self._observe_metrics(obs, 0, 0)
         return delta
+
+    def _observe_metrics(self, obs, late: int, n_events: int) -> None:
+        """Fold the stream's health counters into the obs registry.
+
+        The watermark-lag gauge skips the pre-event state (the tracker
+        reports a ``-inf`` watermark until the first transfer arrives;
+        see :meth:`WatermarkTracker.lag`).
+        """
+        if not obs.enabled:
+            return
+        obs.metrics.counter("stream.events").inc(n_events)
+        obs.metrics.counter("stream.late_events").inc(late)
+        if self.tracker.has_observed:
+            obs.metrics.gauge("stream.watermark_lag").set(self.tracker.lag)
+        obs.metrics.gauge("stream.pending_jobs").set(self.matcher.n_pending)
 
     def _emit(
         self, finalized: Dict[str, List[Finalized]], n_closed: int, n_events: int

@@ -50,8 +50,21 @@ class WatermarkTracker:
 
     @property
     def lag(self) -> float:
-        """How far the watermark trails the newest event (0 when closed)."""
-        return self._max_event_time - self.watermark if not self._closed else 0.0
+        """How far the watermark trails the newest event (0 when closed).
+
+        Before the first event is observed both terms are ``-inf`` and
+        the subtraction would be NaN; the pre-event lag is defined as
+        ``0.0`` — there is nothing for the watermark to trail yet.
+        """
+        if self._closed or self._max_event_time == float("-inf"):
+            return 0.0
+        return self._max_event_time - self.watermark
+
+    @property
+    def has_observed(self) -> bool:
+        """Has any event time been observed yet?  (Gauges should skip
+        the pre-event state rather than report a ``-inf`` watermark.)"""
+        return self._max_event_time != float("-inf")
 
     def is_late(self, event_time: float) -> bool:
         """Does this event time violate the lateness bound?"""

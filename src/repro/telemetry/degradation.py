@@ -28,6 +28,7 @@ Every defect probability is a knob; the defaults are calibrated so the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -128,8 +129,10 @@ class DegradedTelemetry:
     transfers: List[TransferRecord]
     ground_truth: GroundTruth
 
-    @property
+    @cached_property
     def n_transfers_with_taskid(self) -> int:
+        """Transfers that kept a task id (computed once; the CLI and
+        reports read this repeatedly over a list that never mutates)."""
         return sum(1 for t in self.transfers if t.has_jeditaskid)
 
 
@@ -249,10 +252,14 @@ class MetadataDegrader:
         if jeditaskid and self.rng.random() < cfg.drop_taskid_p(act):
             jeditaskid = 0
 
+        # Destination and source corruption are independent defects:
+        # §4.3 allows "either ... or" including both at once, and a
+        # conditional draw would deflate the effective source-unknown
+        # rate by (1 - p_destination).
         src, dst = ev.source_site, ev.destination_site
         if self.rng.random() < cfg.p_unknown_destination.get(act, 0.0):
             dst = UNKNOWN_SITE
-        elif self.rng.random() < cfg.p_unknown_source.get(act, 0.0):
+        if self.rng.random() < cfg.p_unknown_source.get(act, 0.0):
             src = UNKNOWN_SITE
 
         size = ev.file_size

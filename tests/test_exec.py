@@ -70,7 +70,7 @@ class TestArtifactCache:
         plan = WindowPlan(0.0, 10_000.0)
         first = cache.get(plan)
         assert cache.get(plan) is first
-        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1, "evictions": 0}
 
     @pytest.mark.parametrize("engine,counter", [
         ("row", CandidateIndex),

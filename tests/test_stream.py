@@ -152,6 +152,17 @@ class TestWatermarkTracker:
         with pytest.raises(ValueError):
             WatermarkTracker(lateness=-1.0)
 
+    def test_lag_is_zero_before_first_event(self):
+        # Regression: both terms are -inf pre-event and the raw
+        # subtraction is NaN; the defined pre-event lag is 0.0.
+        w = WatermarkTracker(lateness=5.0)
+        assert w.lag == 0.0
+        assert not np.isnan(w.lag)
+        assert not w.has_observed
+        w.observe(10.0)
+        assert w.has_observed
+        assert w.lag == 5.0
+
 
 # -- event log --------------------------------------------------------------------
 

@@ -93,9 +93,12 @@ class TestDegradation:
         assert d.degrade_transfer(event()) is None
 
     def test_unknown_destination(self):
+        # p_unknown_source pinned to zero: the draws are independent, so
+        # the default source rate would otherwise fire on its own.
         d = self._degrader(
             p_drop_transfer=0.0,
             p_unknown_destination={TransferActivity.ANALYSIS_DOWNLOAD: 1.0},
+            p_unknown_source={},
         )
         rec = d.degrade_transfer(event())
         assert rec.destination_site == UNKNOWN_SITE
@@ -144,6 +147,37 @@ class TestDegradation:
         rec = d.degrade_transfer(event(starttime=1.4, endtime=2.6))
         assert rec.starttime == 1.0 and rec.endtime == 3.0
 
+    def test_unknown_site_draws_are_independent(self):
+        # Regression: the old if/elif made source corruption conditional
+        # on the destination surviving, deflating the source-unknown
+        # rate to p_src * (1 - p_dst) and making both-unknown records
+        # impossible.
+        d = self._degrader(
+            p_drop_transfer=0.0,
+            p_unknown_destination={TransferActivity.ANALYSIS_DOWNLOAD: 0.5},
+            p_unknown_source={TransferActivity.ANALYSIS_DOWNLOAD: 0.5},
+        )
+        recs = [d.degrade_transfer(event(transfer_id=i)) for i in range(2000)]
+        src_rate = sum(r.source_site == UNKNOWN_SITE for r in recs) / len(recs)
+        dst_rate = sum(r.destination_site == UNKNOWN_SITE for r in recs) / len(recs)
+        n_both = sum(
+            r.source_site == UNKNOWN_SITE and r.destination_site == UNKNOWN_SITE
+            for r in recs
+        )
+        assert 0.45 < src_rate < 0.55  # was ~0.25 under the elif
+        assert 0.45 < dst_rate < 0.55
+        assert n_both > 0  # impossible before the fix
+
+    def test_both_sites_unknown_at_certainty(self):
+        d = self._degrader(
+            p_drop_transfer=0.0,
+            p_unknown_destination={TransferActivity.ANALYSIS_DOWNLOAD: 1.0},
+            p_unknown_source={TransferActivity.ANALYSIS_DOWNLOAD: 1.0},
+        )
+        rec = d.degrade_transfer(event())
+        assert rec.destination_site == UNKNOWN_SITE
+        assert rec.source_site == UNKNOWN_SITE
+
 
 class TestDegradedTelemetryOnStudy:
     def test_row_ids_unique(self, small_telemetry):
@@ -161,6 +195,12 @@ class TestDegradedTelemetryOnStudy:
     def test_background_majority_lacks_taskid(self, small_telemetry):
         frac = small_telemetry.n_transfers_with_taskid / len(small_telemetry.transfers)
         assert frac < 0.8  # most transfers are unmatched background mass
+
+    def test_taskid_count_is_cached(self, small_telemetry):
+        n = small_telemetry.n_transfers_with_taskid
+        # cached_property stores the computed value on the instance.
+        assert small_telemetry.__dict__["n_transfers_with_taskid"] == n
+        assert small_telemetry.n_transfers_with_taskid == n
 
     def test_file_records_have_types(self, small_telemetry):
         kinds = {f.ftype for f in small_telemetry.files}
