@@ -13,6 +13,8 @@
   dataplane (``repro.stream``) in micro-batches and verify the
   accumulated matches are bit-identical to the batch pipeline;
 * ``anomalies`` — campaign + anomaly report + mitigation advice;
+* ``scale`` — walk the 10x scale ladder (3.6k → 36k → … → ~1M jobs)
+  and write per-rung throughput / peak-RSS / shard-count artifacts;
 * ``growth`` — print the Fig 2 cumulative-volume series;
 * ``ablation`` — locality vs co-optimized brokerage comparison;
 * ``export`` — dump degraded telemetry and matching results to files.
@@ -62,6 +64,11 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
              "reference per-record loops (identical results; default "
              "%(default)s)")
     p.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="partition the jobs/transfers time indices into N shards "
+             "so window queries touch only overlapped slices "
+             "(0 = unsharded; results are identical either way)")
+    p.add_argument(
         "--obs", action="store_true",
         help="collect spans and metrics while running and print a "
              "per-stage summary to stderr (results are unaffected)")
@@ -73,12 +80,15 @@ def _study(args) -> EightDayStudy:
     cfg = EightDayConfig(seed=args.seed, days=args.days, intensity=args.intensity)
     obs = Obs.collecting() if getattr(args, "obs", False) else None
     args.obs_bundle = obs
+    shards = getattr(args, "shards", 0) or 0
+    shard_seconds = (args.days * 86400.0 / shards) if shards > 0 else None
     print(f"simulating {args.days:g} days (seed {args.seed}) ...", file=sys.stderr)
     return EightDayStudy(
         cfg,
         engine=getattr(args, "engine", None),
         frame=getattr(args, "frame", None),
         obs=obs,
+        shard_seconds=shard_seconds,
     ).run()
 
 
@@ -306,6 +316,43 @@ def cmd_ablation(args) -> int:
     return 0
 
 
+def cmd_scale(args) -> int:
+    """Walk the scale ladder and write per-rung dataplane artifacts.
+
+    Each rung synthesizes a full 8-day window at 10x the previous
+    rung's job count, runs Exact/RM1/RM2 matching plus the §5 headline
+    analyses, and records throughput, peak RSS, and shard counts.
+    ``--full`` appends the paper-scale rung (~1M jobs, ~6.5M
+    transfers).
+    """
+    from repro.scenarios.scale import PAPER_RUNG, scale_ladder
+
+    rungs = [int(r) for r in args.rungs.split(",") if r.strip()]
+    if args.full and PAPER_RUNG not in rungs:
+        rungs.append(PAPER_RUNG)
+    shard_seconds = args.shard_hours * 3600.0
+    shared_memory = False if args.no_shm else None
+    payload = scale_ladder(
+        rungs=rungs,
+        seed=args.seed,
+        days=args.days,
+        shard_seconds=shard_seconds,
+        workers=args.workers,
+        engine=args.engine,
+        shared_memory=shared_memory,
+    )
+    to_json_file(args.out, payload)
+    print(f"{'jobs':>9}  {'gen s':>7}  {'match s':>7}  {'jobs/s':>9}  "
+          f"{'peak MB':>8}  {'shards':>6}  mode")
+    for row in payload["rungs"]:
+        shards = max(row["shards"].values()) if row["shards"] else 1
+        print(f"{row['n_jobs']:>9,}  {row['generate_seconds']:>7.2f}  "
+              f"{row['match_seconds']:>7.2f}  {row['match_jobs_per_sec']:>9,.0f}  "
+              f"{row['peak_rss_mb']:>8.0f}  {shards:>6}  {row['seed_mode']}")
+    print(f"wrote {len(payload['rungs'])} rung(s) to {args.out}")
+    return 0
+
+
 def cmd_export(args) -> int:
     study = _study(args)
     telemetry = study.telemetry
@@ -371,6 +418,34 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--top", type=int, default=20,
                     help="rows in the stage summary table (0 = all)")
     pr.set_defaults(fn=cmd_profile)
+
+    sc = sub.add_parser(
+        "scale",
+        help="walk the 10x scale ladder and write per-rung throughput, "
+             "peak-RSS, and shard-count artifacts")
+    sc.add_argument("--rungs", default="3600,36000",
+                    help="comma-separated rung sizes in jobs "
+                         "(default %(default)s)")
+    sc.add_argument("--full", action="store_true",
+                    help="append the paper-scale rung (~1M jobs, "
+                         "~6.5M transfers)")
+    sc.add_argument("--seed", type=int, default=2025, help="root random seed")
+    sc.add_argument("--days", type=float, default=8.0,
+                    help="window length in days (default %(default)s)")
+    sc.add_argument("--workers", type=int, default=1, metavar="N",
+                    help="processes for the matching executor")
+    sc.add_argument("--engine", default="columnar",
+                    help="matching join engine (default %(default)s)")
+    sc.add_argument("--shard-hours", type=float, default=24.0,
+                    metavar="HOURS",
+                    help="time-shard width for the jobs/transfers indices "
+                         "(default %(default)s)")
+    sc.add_argument("--no-shm", action="store_true",
+                    help="seed parallel workers by pickling instead of "
+                         "shared-memory pack attach (results identical)")
+    sc.add_argument("--out", default="benchmarks/results/scale_ladder.json",
+                    help="artifact path (default %(default)s)")
+    sc.set_defaults(fn=cmd_scale)
 
     g = sub.add_parser("growth", help="print the Fig 2 volume series")
     g.set_defaults(fn=cmd_growth)

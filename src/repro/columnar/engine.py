@@ -104,6 +104,10 @@ def _joint_codes(
     )
 
 
+def _indexable(seq) -> bool:
+    return hasattr(seq, "__getitem__") and hasattr(seq, "__len__")
+
+
 class ColumnarIndex:
     """The Algorithm-1 join as flat candidate arrays, built once per window.
 
@@ -126,9 +130,14 @@ class ColumnarIndex:
         columns: Optional[WindowColumns] = None,
     ) -> None:
         ColumnarIndex.build_count += 1
-        self.jobs = list(jobs)
-        self.files = list(files)
-        self.transfers = list(transfers)
+        # Keep indexable sequences as-is: lazy record views (see
+        # ``repro.metastore.packsource.LazyRecords``) stay lazy, so a
+        # paper-scale window only materializes the records a match
+        # actually touches.  Generators and other one-shot iterables
+        # still get listified.
+        self.jobs = jobs if _indexable(jobs) else list(jobs)
+        self.files = files if _indexable(files) else list(files)
+        self.transfers = transfers if _indexable(transfers) else list(transfers)
         # Pre-lowered columns (cut from a source's full-table packs by
         # the window's id arrays) skip the per-record lowering entirely.
         self.columns = columns if columns is not None else WindowColumns.lower(

@@ -27,11 +27,14 @@ benchmarks can assert sweeps run on one pool.
 
 from __future__ import annotations
 
+import itertools
 import os
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.columnar import DEFAULT_ENGINE, validate_engine
+from repro.columnar import shm
 from repro.core.matching.base import BaseMatcher, MatchingReport, MatchResult
 from repro.core.matching.exact import ExactMatcher
 from repro.core.matching.rm1 import RM1Matcher
@@ -144,6 +147,11 @@ _WORKER_REPORTS: dict = {}
 
 def _worker_init(source, engine: Optional[str] = None) -> None:
     global _WORKER_CACHE
+    if isinstance(source, shm.ArchiveRef):
+        # Zero-copy path: the initializer received a pack-archive
+        # handle, not a pickled source — attach to the memory-mapped
+        # columns instead of deserializing megabytes of records.
+        source = shm.attach(source)
     _WORKER_CACHE = ArtifactCache(source, engine=engine)
     _WORKER_REPORTS.clear()
 
@@ -181,6 +189,35 @@ def _worker_task(task: Tuple[WindowPlan, BaseMatcher]):
     )
 
 
+# -- source identity ----------------------------------------------------------
+
+#: Monotonic tokens for source objects.  ``id()`` is recycled by the
+#: allocator the moment a source is garbage-collected, so keying pools
+#: on it could silently serve a *new* source from a *stale* worker
+#: cache; tokens are handed out once per live object and never reused.
+_SOURCE_TOKEN_BY_OBJ: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SOURCE_TOKEN_COUNTER = itertools.count(1)
+
+
+def source_token(source) -> tuple:
+    """A pool-key-safe identity for ``source``.
+
+    ``("tok", n)`` with a monotonically assigned ``n`` for
+    weak-referenceable objects (every real source); falls back to
+    ``("id", id(source))`` for exotic objects that support neither weak
+    references nor hashing — those keep the old (recyclable) semantics
+    rather than being leaked by a strong-reference registry.
+    """
+    try:
+        tok = _SOURCE_TOKEN_BY_OBJ.get(source)
+        if tok is None:
+            tok = next(_SOURCE_TOKEN_COUNTER)
+            _SOURCE_TOKEN_BY_OBJ[source] = tok
+        return ("tok", tok)
+    except TypeError:
+        return ("id", id(source))
+
+
 class ParallelExecutor(Executor):
     """Process-pool execution: plans × matchers fanned across cores.
 
@@ -197,31 +234,78 @@ class ParallelExecutor(Executor):
         workers: Optional[int] = None,
         mp_context=None,
         engine: Optional[str] = None,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers or os.cpu_count() or 1
         self._mp_context = mp_context
         self.engine = validate_engine(engine) if engine is not None else None
+        #: Worker seeding strategy.  ``None`` (auto) spools the source
+        #: to a zero-copy pack archive whenever the engine is columnar
+        #: and the source exposes column packs, falling back to the
+        #: pickled-source initializer otherwise; ``True`` forces the
+        #: attempt, ``False`` forces pickling.
+        self.shared_memory = shared_memory
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_key: Optional[tuple] = None
+        self._archive_key: Optional[tuple] = None
         #: Number of pool initializations over this executor's lifetime;
         #: a sweep over one source must leave this at 1.
         self.pool_inits = 0
+        #: How the most recent source-keyed pool seeded its workers
+        #: ("shm" or "pickle"); None before the first one.
+        self.seed_mode: Optional[str] = None
 
     # -- persistent pool lifecycle -------------------------------------------
 
     def _source_key(self, source, engine: str) -> tuple:
-        return ("source", id(source), getattr(source, "generation", 0), engine)
+        return ("source", source_token(source), getattr(source, "generation", 0), engine)
 
-    def _pool_for(self, key: tuple, initargs: Optional[tuple] = None) -> ProcessPoolExecutor:
+    def _shm_wanted(self, source, engine: str) -> bool:
+        if self.shared_memory is False:
+            return False
+        if self.shared_memory:
+            return True
+        return engine == "columnar" and hasattr(source, "column_packs")
+
+    def _init_spec(self, source, engine: str, key: tuple) -> tuple:
+        """Initializer args for a new pool: an archive ref or the source.
+
+        Acquires a refcounted pack archive when shared memory is wanted
+        and the source can be spooled; any export failure degrades to
+        the pickle path (shared memory is an optimization, never a
+        requirement).
+        """
+        obs = get_obs()
+        if self._shm_wanted(source, engine):
+            try:
+                archive = shm.acquire(source, key)
+            except shm.ExportError:
+                if obs.enabled:
+                    obs.metrics.counter("executor.shm", event="fallback").inc()
+            else:
+                self._archive_key = key
+                self.seed_mode = "shm"
+                return (shm.ArchiveRef(str(archive.path)), engine)
+        self.seed_mode = "pickle"
+        return (source, engine)
+
+    def _release_archive(self) -> None:
+        if self._archive_key is not None:
+            shm.release(self._archive_key)
+            self._archive_key = None
+
+    def _pool_for(self, key: tuple, initargs_for=None) -> ProcessPoolExecutor:
         """The persistent pool for ``key``, (re)created only on key change.
 
         ``key`` captures everything the workers' global state depends
-        on — the source identity, its data generation, and the engine —
-        so reuse is safe exactly when the key matches.  A bare pool
-        (``key[0] == "bare"``) carries no worker state and any live
-        pool can serve it.
+        on — the source identity token, its data generation, and the
+        engine — so reuse is safe exactly when the key matches.  A bare
+        pool (``key[0] == "bare"``) carries no worker state and any
+        live pool can serve it.  ``initargs_for`` is invoked only when
+        a pool is actually created, so archive exports happen once per
+        key, not once per call.
         """
         obs = get_obs()
         if self._pool is not None:
@@ -231,11 +315,16 @@ class ParallelExecutor(Executor):
                 return self._pool
             self._pool.shutdown(wait=True)
             self._pool = None
+            # The outgoing pool's workers held the old archive's maps;
+            # they are gone after shutdown, so the spool can go too.
+            self._release_archive()
         self.pool_inits += 1
         if obs.enabled:
             obs.metrics.counter("executor.pool", event="init").inc()
         with obs.tracer.span("executor.pool_init", cat="executor") as sp:
             sp.set("workers", self.workers)
+            initargs = initargs_for() if initargs_for is not None else None
+            sp.set("seed_mode", self.seed_mode if initargs is not None else "none")
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=self._mp_context,
@@ -250,13 +339,18 @@ class ParallelExecutor(Executor):
             self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_key = None
+        self._release_archive()
 
     def __del__(self) -> None:
         # Defensive: tests and sweeps that forget close() must not leak
-        # worker processes.
+        # worker processes or spooled archives.
         pool = getattr(self, "_pool", None)
         if pool is not None:
             pool.shutdown(wait=False)
+        try:
+            self._release_archive()
+        except Exception:
+            pass
 
     def map(self, fn: Callable, items: Iterable) -> List:
         """Generic parallel map; ``fn`` and items must be picklable.
@@ -287,7 +381,8 @@ class ParallelExecutor(Executor):
         if not items:
             return []
         eng = self._engine(engine)
-        pool = self._pool_for(self._source_key(source, eng), initargs=(source, eng))
+        key = self._source_key(source, eng)
+        pool = self._pool_for(key, initargs_for=lambda: self._init_spec(source, eng, key))
         with get_obs().tracer.span("executor.map", cat="executor") as sp:
             sp.set("n_items", len(items))
             sp.set("workers", self.workers)
@@ -316,7 +411,8 @@ class ParallelExecutor(Executor):
             # Few plans, many matchers: matcher-level parallelism wins
             # even though several workers materialize the same window.
             chunksize = 1
-        pool = self._pool_for(self._source_key(source, eng), initargs=(source, eng))
+        key = self._source_key(source, eng)
+        pool = self._pool_for(key, initargs_for=lambda: self._init_spec(source, eng, key))
         with get_obs().tracer.span("executor.map", cat="executor") as sp:
             sp.set("n_tasks", len(tasks))
             sp.set("workers", self.workers)
@@ -342,10 +438,12 @@ class ParallelExecutor(Executor):
 
 
 def make_executor(
-    workers: Optional[int] = None, engine: Optional[str] = None
+    workers: Optional[int] = None,
+    engine: Optional[str] = None,
+    shared_memory: Optional[bool] = None,
 ) -> Executor:
     """``--workers``/``--engine`` plumbing: 0/1/None → serial, N>1 → N
     processes; ``engine`` picks the join implementation either way."""
     if workers is None or workers <= 1:
         return SerialExecutor(engine=engine)
-    return ParallelExecutor(workers=workers, engine=engine)
+    return ParallelExecutor(workers=workers, engine=engine, shared_memory=shared_memory)

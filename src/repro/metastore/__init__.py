@@ -11,9 +11,24 @@ from repro.metastore.index import FieldIndex
 from repro.metastore.query import Query, Term, Terms, Range, Bool, Exists, MatchAll
 from repro.metastore.store import DocumentStore
 from repro.metastore.opensearch import OpenSearchLike, SearchResult
+from repro.metastore.sharding import (
+    NULL_SHARD,
+    ShardedCollection,
+    ShardedFieldIndex,
+    SiteShardPolicy,
+    TimeShardPolicy,
+)
+from repro.metastore.packsource import PackSource, SidecarColumns
 
 __all__ = [
     "FieldIndex",
+    "NULL_SHARD",
+    "PackSource",
+    "ShardedCollection",
+    "ShardedFieldIndex",
+    "SidecarColumns",
+    "SiteShardPolicy",
+    "TimeShardPolicy",
     "Query",
     "Term",
     "Terms",

@@ -1,0 +1,290 @@
+"""Time-sliced (and pluggable site-keyed) collection sharding.
+
+Rucio-style metadata partitioning scaled down to this repo: a
+:class:`ShardedCollection` keeps the single document list of a plain
+:class:`~repro.metastore.store.Collection` (doc ids stay global, so
+they remain valid column-pack row positions) but partitions its *field
+indices* by a shard key derived from one field per document.  Range
+queries on the key field route to only the shards the window overlaps;
+everything else fans out across shards and unions, which reproduces the
+unsharded answer exactly — sharding is a representation change, not a
+semantic one.
+
+Incremental ingest lands each document in the shard its key selects,
+and ``freeze`` is a per-shard no-op for clean shards, so appending
+recent telemetry touches only the tail shard (``FieldIndex.full_builds``
+does not grow — the same invariant the streaming suite asserts for the
+unsharded store).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.metastore.index import FieldIndex
+from repro.metastore.store import Collection
+from repro.obs import get_obs
+
+#: Shard key for documents whose shard field is missing, None, or not
+#: interpretable by the policy.  Such documents still get indexed (in
+#: this overflow shard) so fan-out queries see them.
+NULL_SHARD = "__null__"
+
+
+class TimeShardPolicy:
+    """Partition by fixed-width time slices of one timestamp field.
+
+    ``shard_key`` is monotone in the field value, so a ``[t0, t1)``
+    window overlaps a contiguous run of shard keys — ``route_range``
+    returns exactly that run.
+    """
+
+    def __init__(self, key_field: str, slice_seconds: float) -> None:
+        if slice_seconds <= 0:
+            raise ValueError("slice_seconds must be positive")
+        self.key_field = key_field
+        self.slice_seconds = float(slice_seconds)
+
+    def shard_key(self, value: Any) -> Any:
+        if isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+            value, (bool, np.bool_)
+        ):
+            v = float(value)
+            if not math.isnan(v):
+                return int(v // self.slice_seconds)
+        return NULL_SHARD
+
+    def route_range(
+        self,
+        keys: Sequence[Any],
+        gte: Optional[float] = None,
+        lt: Optional[float] = None,
+        gt: Optional[float] = None,
+        lte: Optional[float] = None,
+    ) -> List[Any]:
+        """Shard keys (from ``keys``) whose slice may intersect the range.
+
+        Conservative at the bounds (a superset is always correct; the
+        per-shard ``FieldIndex`` re-checks exact values), but never
+        includes a slice fully outside the window — that is the entire
+        point of routing.
+        """
+        lo = max((b for b in (gte, gt) if b is not None), default=-math.inf)
+        hi = min((b for b in (lt, lte) if b is not None), default=math.inf)
+        s = self.slice_seconds
+        out = []
+        for k in keys:
+            if k == NULL_SHARD:
+                continue  # key-field value was None: not in this index at all
+            if (k + 1) * s > lo and k * s <= hi:
+                out.append(k)
+        return out
+
+    def route_term(self, keys: Sequence[Any], value: Any) -> List[Any]:
+        k = self.shard_key(value)
+        return [k] if k in set(keys) else []
+
+
+class SiteShardPolicy:
+    """Partition by a categorical field (e.g. ``computingsite``).
+
+    Term lookups on the key field hit exactly one shard; range queries
+    fan out (a categorical key has no slice order to exploit).
+    """
+
+    def __init__(self, key_field: str) -> None:
+        self.key_field = key_field
+
+    def shard_key(self, value: Any) -> Any:
+        if isinstance(value, str) and value:
+            return value
+        return NULL_SHARD
+
+    def route_range(self, keys: Sequence[Any], **bounds: Optional[float]) -> List[Any]:
+        return [k for k in keys if k != NULL_SHARD]
+
+    def route_term(self, keys: Sequence[Any], value: Any) -> List[Any]:
+        k = self.shard_key(value)
+        return [k] if k in set(keys) else []
+
+
+class ShardedFieldIndex:
+    """Facade presenting one field's per-shard indices as a single index.
+
+    Implements the full ``FieldIndex`` lookup surface (term / terms /
+    range / range_ids / exists / cardinality), routing to a subset of
+    shards when the queried field is the shard key and fanning out
+    otherwise.  Looks up shards live, so it stays valid across later
+    ingests.
+    """
+
+    def __init__(self, name: str, collection: "ShardedCollection") -> None:
+        self.name = name
+        self._col = collection
+
+    def _shard_items(self):
+        """(shard_key, FieldIndex) pairs for shards that saw this field."""
+        name = self.name
+        return [
+            (key, indices[name])
+            for key, indices in self._col.shard_tables()
+            if name in indices
+        ]
+
+    def _record_route(self, scanned: int, total: int, op: str) -> None:
+        obs = get_obs()
+        if obs.enabled:
+            obs.metrics.counter(
+                "metastore.shard_route",
+                collection=self._col.name,
+                field=self.name,
+                op=op,
+            ).inc()
+            obs.metrics.counter(
+                "metastore.shards_scanned", collection=self._col.name, op=op
+            ).inc(scanned)
+            obs.metrics.counter(
+                "metastore.shards_total", collection=self._col.name, op=op
+            ).inc(total)
+
+    # -- lookups (FieldIndex surface) ----------------------------------------
+
+    def term(self, value: Any) -> Set[int]:
+        items = self._shard_items()
+        if self.name == self._col.policy.key_field:
+            routed = set(self._col.policy.route_term([k for k, _ in items], value))
+            selected = [idx for k, idx in items if k in routed]
+        else:
+            selected = [idx for _, idx in items]
+        self._record_route(len(selected), len(items), "term")
+        out: Set[int] = set()
+        for idx in selected:
+            out |= idx.term(value)
+        return out
+
+    def terms(self, values) -> Set[int]:
+        out: Set[int] = set()
+        items = self._shard_items()
+        self._record_route(len(items), len(items), "terms")
+        for _, idx in items:
+            out |= idx.terms(values)
+        return out
+
+    def range_ids(
+        self,
+        gte: Optional[float] = None,
+        lt: Optional[float] = None,
+        gt: Optional[float] = None,
+        lte: Optional[float] = None,
+    ) -> np.ndarray:
+        items = self._shard_items()
+        if any(not idx.is_numeric for _, idx in items):
+            raise TypeError(f"field {self.name!r} is not numeric; range query invalid")
+        if self.name == self._col.policy.key_field:
+            routed = self._col.policy.route_range(
+                [k for k, _ in items], gte=gte, lt=lt, gt=gt, lte=lte
+            )
+            routed_set = set(routed)
+            selected = [(k, idx) for k, idx in items if k in routed_set]
+        else:
+            selected = items
+        with get_obs().tracer.span("metastore.shard_route", cat="metastore") as sp:
+            sp.set("collection", self._col.name)
+            sp.set("field", self.name)
+            sp.set("shards_scanned", len(selected))
+            sp.set("shards_total", len(items))
+            parts = [
+                idx.range_ids(gte=gte, lt=lt, gt=gt, lte=lte) for _, idx in selected
+            ]
+            parts = [p for p in parts if len(p)]
+        self._record_route(len(selected), len(items), "range")
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        # Value order across shards is NOT restored here; every caller
+        # (Collection.search_ids, FieldIndex.range) re-sorts or goes
+        # through a set, exactly like the single-index slice.
+        return np.concatenate(parts)
+
+    def range(
+        self,
+        gte: Optional[float] = None,
+        lt: Optional[float] = None,
+        gt: Optional[float] = None,
+        lte: Optional[float] = None,
+    ) -> Set[int]:
+        return set(int(d) for d in self.range_ids(gte=gte, lt=lt, gt=gt, lte=lte))
+
+    def exists(self) -> Set[int]:
+        out: Set[int] = set()
+        for _, idx in self._shard_items():
+            out |= idx.exists()
+        return out
+
+    @property
+    def is_numeric(self) -> bool:
+        return all(idx.is_numeric for _, idx in self._shard_items())
+
+    @property
+    def cardinality(self) -> int:
+        values: Set[Any] = set()
+        for _, idx in self._shard_items():
+            values.update(idx._by_value.keys())
+        return len(values)
+
+
+class ShardedCollection(Collection):
+    """A Collection whose field indices are partitioned by a shard policy."""
+
+    def __init__(
+        self,
+        name: str,
+        indexed_fields: Optional[Sequence[str]] = None,
+        policy: Optional[Any] = None,
+    ) -> None:
+        super().__init__(name, indexed_fields)
+        if policy is None:
+            raise ValueError("ShardedCollection requires a shard policy")
+        self.policy = policy
+        #: shard key -> {field name -> FieldIndex over GLOBAL doc ids}
+        self._shards: Dict[Any, Dict[str, FieldIndex]] = {}
+        self._facades: Dict[str, ShardedFieldIndex] = {}
+
+    # -- ingest routing ------------------------------------------------------
+
+    def _indices_for(self, mapping: Dict[str, Any]) -> Dict[str, FieldIndex]:
+        key = self.policy.shard_key(mapping.get(self.policy.key_field))
+        indices = self._shards.get(key)
+        if indices is None:
+            indices = self._shards[key] = {}
+        return indices
+
+    def freeze(self) -> None:
+        # Per-shard freeze; FieldIndex.freeze() is a no-op on clean
+        # shards, so a tail-shard append never re-sorts earlier shards.
+        for indices in self._shards.values():
+            for idx in indices.values():
+                idx.freeze()
+
+    # -- query surface -------------------------------------------------------
+
+    def field_index(self, name: str) -> ShardedFieldIndex:  # type: ignore[override]
+        facade = self._facades.get(name)
+        if facade is None:
+            facade = self._facades[name] = ShardedFieldIndex(name, self)
+        return facade
+
+    def shard_tables(self):
+        """Deterministically ordered (shard_key, index-table) pairs."""
+        return sorted(self._shards.items(), key=lambda kv: (kv[0] == NULL_SHARD, str(kv[0])))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_keys(self) -> List[Any]:
+        return [k for k, _ in self.shard_tables()]

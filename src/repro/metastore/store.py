@@ -46,14 +46,24 @@ class Collection:
             doc_id = len(self._docs)
             self._docs.append(doc)
             mapping = _as_mapping(doc)
+            indices = self._indices_for(mapping)
             for fld, value in mapping.items():
                 if self._indexed_fields is not None and fld not in self._indexed_fields:
                     continue
                 if not isinstance(value, (str, int, float, bool)) and value is not None:
                     continue
-                self._indices.setdefault(fld, FieldIndex(fld)).add(doc_id, value)
+                indices.setdefault(fld, FieldIndex(fld)).add(doc_id, value)
             n += 1
         return n
+
+    def _indices_for(self, mapping: Dict[str, Any]) -> Dict[str, FieldIndex]:
+        """Index table a document's fields land in.
+
+        The unsharded collection has exactly one; ``ShardedCollection``
+        overrides this to route each document to the shard its key
+        field selects.
+        """
+        return self._indices
 
     def append(self, docs: Iterable[Any]) -> int:
         """Ingest a micro-batch and re-freeze incrementally.
@@ -140,10 +150,27 @@ class DocumentStore:
     def __init__(self) -> None:
         self._collections: Dict[str, Collection] = {}
 
-    def create(self, name: str, indexed_fields: Optional[Sequence[str]] = None) -> Collection:
+    def create(
+        self,
+        name: str,
+        indexed_fields: Optional[Sequence[str]] = None,
+        policy: Optional[Any] = None,
+    ) -> Collection:
+        """Create a collection; pass a shard ``policy`` to partition it.
+
+        With a policy (see :mod:`repro.metastore.sharding`) the
+        collection's field indices are partitioned by the policy's key
+        field and window queries route to only the shards they overlap.
+        Query semantics are identical either way.
+        """
         if name in self._collections:
             raise ValueError(f"collection exists: {name}")
-        col = Collection(name, indexed_fields)
+        if policy is not None:
+            from repro.metastore.sharding import ShardedCollection
+
+            col: Collection = ShardedCollection(name, indexed_fields, policy=policy)
+        else:
+            col = Collection(name, indexed_fields)
         self._collections[name] = col
         return col
 

@@ -6,12 +6,15 @@
   degraded telemetry, and the matching pipeline over the full window.
 * :mod:`repro.scenarios.threemonth` — the §3.2 transfer-matrix study.
 * :mod:`repro.scenarios.growth` — the Fig 2 multi-year volume curve.
+* :mod:`repro.scenarios.scale` — the 10x scale ladder up to the
+  paper-scale window (~1M jobs, ~6.5M transfers).
 """
 
 from repro.scenarios.runtime import SimulationHarness, HarnessConfig
 from repro.scenarios.eightday import EightDayStudy, EightDayConfig
 from repro.scenarios.threemonth import ThreeMonthStudy, ThreeMonthConfig
 from repro.scenarios.growth import GrowthModel, GrowthConfig
+from repro.scenarios.scale import DEFAULT_RUNGS, PAPER_RUNG, run_rung, scale_ladder
 
 __all__ = [
     "SimulationHarness",
@@ -22,4 +25,8 @@ __all__ = [
     "ThreeMonthConfig",
     "GrowthModel",
     "GrowthConfig",
+    "DEFAULT_RUNGS",
+    "PAPER_RUNG",
+    "run_rung",
+    "scale_ladder",
 ]

@@ -81,11 +81,13 @@ class EightDayStudy:
         engine: Optional[str] = None,
         frame: Optional[str] = None,
         obs: Optional[Obs] = None,
+        shard_seconds: Optional[float] = None,
     ) -> None:
         self.config = config or EightDayConfig()
         self.engine = engine
         self.frame = validate_frame(frame) if frame is not None else None
         self.obs = obs
+        self.shard_seconds = shard_seconds
         self.harness = SimulationHarness(self.config.harness_config())
         self._source: Optional[OpenSearchLike] = None
         self._pipeline: Optional[MatchingPipeline] = None
@@ -107,7 +109,9 @@ class EightDayStudy:
         if self._source is None:
             with use_obs(self.obs) as obs:
                 with obs.tracer.span("study.ingest", cat="study"):
-                    self._source = OpenSearchLike.from_telemetry(self.telemetry)
+                    self._source = OpenSearchLike.from_telemetry(
+                        self.telemetry, shard_seconds=self.shard_seconds
+                    )
         return self._source
 
     @property

@@ -10,6 +10,7 @@ that makes up the bulk of the 6.8M transfer events.
 from repro.workload.profiles import WorkloadProfile, ANALYSIS_DEFAULT, PRODUCTION_DEFAULT
 from repro.workload.arrival import ArrivalProcess, DiurnalPoissonArrivals
 from repro.workload.generator import WorkloadGenerator, WorkloadConfig
+from repro.workload.scale import ScaleConfig, ScaleDataset, synthesize
 
 __all__ = [
     "WorkloadProfile",
@@ -19,4 +20,7 @@ __all__ = [
     "DiurnalPoissonArrivals",
     "WorkloadGenerator",
     "WorkloadConfig",
+    "ScaleConfig",
+    "ScaleDataset",
+    "synthesize",
 ]

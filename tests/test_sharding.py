@@ -1,0 +1,354 @@
+"""Tests for the sharded metastore (time-sliced field indices).
+
+The load-bearing requirement is that sharding is a *representation*
+change, never a semantic one: window materialization, matching reports,
+and streaming accumulated state must be bit-identical for shard counts
+{1, 2, 7} — including windows that straddle shard boundaries.  The
+hypothesis suite drives exactly that property over random populations;
+the unit tests cover routing, ingest placement, incremental freeze,
+and the query-surface parity of the facade index.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching.pipeline import MatchingPipeline
+from repro.metastore.index import FieldIndex
+from repro.metastore.opensearch import OpenSearchLike
+from repro.metastore.query import Bool, Range, Term
+from repro.metastore.sharding import (
+    NULL_SHARD,
+    ShardedCollection,
+    SiteShardPolicy,
+    TimeShardPolicy,
+)
+from repro.metastore.store import Collection
+from repro.stream import EventLog, StreamProcessor
+from repro.telemetry.degradation import DegradedTelemetry
+from repro.telemetry.groundtruth import GroundTruth
+
+from tests.helpers import make_file, make_job, make_transfer
+
+WINDOW = 7 * 86400.0
+KNOWN_SITES = {"SITE-A", "SITE-B"}
+#: The satellite requirement: parity across 1, 2, and 7 time shards.
+SHARD_SECONDS = (None, WINDOW / 2, WINDOW / 7)
+
+
+# -- policies ---------------------------------------------------------------------
+
+
+class TestTimeShardPolicy:
+    def test_shard_key_floors_by_slice(self):
+        p = TimeShardPolicy("endtime", 100.0)
+        assert p.shard_key(0.0) == 0
+        assert p.shard_key(99.9) == 0
+        assert p.shard_key(100.0) == 1
+        assert p.shard_key(250) == 2
+        assert p.shard_key(-1.0) == -1
+
+    def test_non_numeric_values_land_in_null_shard(self):
+        p = TimeShardPolicy("endtime", 100.0)
+        assert p.shard_key(None) == NULL_SHARD
+        assert p.shard_key(float("nan")) == NULL_SHARD
+        assert p.shard_key("soon") == NULL_SHARD
+        assert p.shard_key(True) == NULL_SHARD  # bools are not timestamps
+
+    def test_slice_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeShardPolicy("endtime", 0.0)
+
+    def test_route_range_returns_overlapped_run(self):
+        p = TimeShardPolicy("endtime", 100.0)
+        keys = [0, 1, 2, 3, NULL_SHARD]
+        assert p.route_range(keys, gte=150.0, lt=250.0) == [1, 2]
+        # Boundary value 200.0 lives in shard 2 only, but gte=200 must
+        # not drop shard 2; lt=200 must not include it spuriously.
+        assert p.route_range(keys, gte=200.0, lt=400.0) == [2, 3]
+        assert 0 not in p.route_range(keys, gte=100.0, lt=300.0)
+
+    def test_route_range_unbounded_sides(self):
+        p = TimeShardPolicy("endtime", 100.0)
+        keys = [0, 1, 2]
+        assert p.route_range(keys, lt=150.0) == [0, 1]
+        assert p.route_range(keys, gte=150.0) == [1, 2]
+        assert p.route_range(keys) == [0, 1, 2]
+
+    def test_route_range_never_includes_null_shard(self):
+        # None key-field values never enter the key-field index, so the
+        # null shard has nothing a range on that field could return.
+        p = TimeShardPolicy("endtime", 100.0)
+        assert NULL_SHARD not in p.route_range([0, NULL_SHARD], gte=-math.inf)
+
+    def test_route_term(self):
+        p = TimeShardPolicy("endtime", 100.0)
+        assert p.route_term([0, 1, 2], 150.0) == [1]
+        assert p.route_term([0, 2], 150.0) == []
+
+
+class TestSiteShardPolicy:
+    def test_term_routes_to_one_shard(self):
+        p = SiteShardPolicy("computingsite")
+        assert p.route_term(["SITE-A", "SITE-B"], "SITE-B") == ["SITE-B"]
+        assert p.route_term(["SITE-A"], "SITE-X") == []
+
+    def test_range_fans_out(self):
+        p = SiteShardPolicy("computingsite")
+        assert p.route_range(["SITE-A", "SITE-B", NULL_SHARD]) == ["SITE-A", "SITE-B"]
+
+    def test_empty_or_non_string_is_null(self):
+        p = SiteShardPolicy("computingsite")
+        assert p.shard_key("") == NULL_SHARD
+        assert p.shard_key(None) == NULL_SHARD
+
+
+# -- sharded collection -----------------------------------------------------------
+
+
+def _jobs(*ends):
+    return [
+        make_job(pandaid=i + 1, jeditaskid=100 + i, end=e, site="SITE-A")
+        for i, e in enumerate(ends)
+    ]
+
+
+def _pair(slice_seconds=100.0):
+    """The same docs in a plain and a sharded collection."""
+    docs = _jobs(10.0, 50.0, 150.0, 250.0, None)
+    plain = Collection("jobs", ("pandaid", "endtime", "computingsite"))
+    sharded = ShardedCollection(
+        "jobs",
+        ("pandaid", "endtime", "computingsite"),
+        policy=TimeShardPolicy("endtime", slice_seconds),
+    )
+    plain.ingest(docs)
+    sharded.ingest(docs)
+    plain.freeze()
+    sharded.freeze()
+    return plain, sharded
+
+
+class TestShardedCollection:
+    def test_requires_policy(self):
+        with pytest.raises(ValueError):
+            ShardedCollection("jobs", ("endtime",), policy=None)
+
+    def test_ingest_partitions_by_key(self):
+        _, sharded = _pair()
+        # endtimes 10/50 -> shard 0, 150 -> 1, 250 -> 2, None -> null
+        assert sharded.n_shards == 4
+        assert sharded.shard_keys() == [0, 1, 2, NULL_SHARD]
+
+    def test_docs_keep_global_ids(self):
+        plain, sharded = _pair()
+        assert len(sharded) == len(plain)
+        assert [sharded.get(i).pandaid for i in range(len(sharded))] == [
+            plain.get(i).pandaid for i in range(len(plain))
+        ]
+
+    def test_range_parity_and_routing(self):
+        plain, sharded = _pair()
+        q = Range("endtime", gte=40.0, lt=200.0)
+        assert set(sharded.search_ids(q).tolist()) == set(plain.search_ids(q).tolist())
+        # search_ids output stays value-sorted like the plain collection
+        assert sharded.search_ids(q).tolist() == plain.search_ids(q).tolist()
+
+    def test_term_parity_on_key_and_non_key_fields(self):
+        plain, sharded = _pair()
+        for q in (Term("endtime", 150.0), Term("computingsite", "SITE-A"),
+                  Term("pandaid", 3)):
+            assert set(sharded.search_ids(q).tolist()) == set(
+                plain.search_ids(q).tolist()
+            )
+
+    def test_bool_query_parity(self):
+        plain, sharded = _pair()
+        q = Bool(must=[Range("endtime", gte=0.0, lt=260.0),
+                       Term("computingsite", "SITE-A")])
+        assert sorted(sharded.search_ids(q).tolist()) == sorted(
+            plain.search_ids(q).tolist()
+        )
+
+    def test_facade_surface_parity(self):
+        plain, sharded = _pair()
+        pi, si = plain.field_index("endtime"), sharded.field_index("endtime")
+        assert si.term(150.0) == pi.term(150.0)
+        assert si.terms([10.0, 250.0]) == pi.terms([10.0, 250.0])
+        assert si.range(gte=40.0, lte=250.0) == pi.range(gte=40.0, lte=250.0)
+        assert si.exists() == pi.exists()
+        assert si.cardinality == pi.cardinality
+        assert si.is_numeric and pi.is_numeric
+
+    def test_facade_is_cached_and_live(self):
+        _, sharded = _pair()
+        idx = sharded.field_index("endtime")
+        assert sharded.field_index("endtime") is idx
+        before = idx.range(gte=0.0)
+        sharded.append(_jobs(999.0))
+        sharded.freeze()
+        assert len(idx.range(gte=0.0)) == len(before) + 1
+
+    def test_range_on_non_numeric_field_raises(self):
+        _, sharded = _pair()
+        with pytest.raises(TypeError):
+            sharded.field_index("computingsite").range_ids(gte=0.0)
+
+    def test_tail_append_does_not_rebuild_earlier_shards(self):
+        _, sharded = _pair()
+        before = FieldIndex.full_builds
+        sharded.append(_jobs(260.0, 270.0))  # both land in shard 2
+        sharded.freeze()
+        grown = FieldIndex.full_builds - before
+        # Only shard 2's indices re-sort; shards 0/1/null stay frozen.
+        assert grown <= len(("pandaid", "endtime", "computingsite"))
+
+
+# -- population strategy ----------------------------------------------------------
+
+
+@st.composite
+def population(draw):
+    """A small telemetry snapshot with matchable structure.
+
+    Jobs spread across the whole window (so any multi-shard config
+    splits them); a drawn subset of each job's files gets a matching
+    transfer, plus taskid-less background transfers that must never
+    join.
+    """
+    jobs, files, transfers = [], [], []
+    row_id = 1
+    n_tasks = draw(st.integers(min_value=1, max_value=4))
+    for task in range(n_tasks):
+        taskid = 100 + task
+        label = draw(st.sampled_from(["user", "managed"]))
+        for j in range(draw(st.integers(min_value=1, max_value=3))):
+            pandaid = 1000 + task * 10 + j
+            end = draw(st.floats(min_value=1.0, max_value=WINDOW - 1.0,
+                                 allow_nan=False))
+            site = draw(st.sampled_from(["SITE-A", "SITE-B", "UNKNOWN"]))
+            n_files = draw(st.integers(min_value=1, max_value=3))
+            jobs.append(make_job(pandaid=pandaid, jeditaskid=taskid, site=site,
+                                 end=end, nin=n_files * 1000, label=label))
+            for k in range(n_files):
+                lfn = f"t{task}j{j}f{k}"
+                files.append(make_file(pandaid=pandaid, jeditaskid=taskid,
+                                       lfn=lfn, size=1000))
+                if draw(st.booleans()):
+                    start = max(end - draw(st.floats(min_value=1.0,
+                                                     max_value=3600.0)), 0.5)
+                    transfers.append(make_transfer(
+                        row_id=row_id, lfn=lfn, size=1000, src=site, dst=site,
+                        start=start, end=start + 10.0, jeditaskid=taskid))
+                    row_id += 1
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        start = draw(st.floats(min_value=0.0, max_value=WINDOW - 1.0,
+                               allow_nan=False))
+        transfers.append(make_transfer(
+            row_id=row_id, lfn=f"bg{row_id}", start=start, end=start + 5.0,
+            jeditaskid=0, activity="Data Consolidation", download=False))
+        row_id += 1
+    return jobs, files, transfers
+
+
+@st.composite
+def window(draw):
+    """A sub-window; shard boundaries at k*W/2 and k*W/7 fall inside it
+    for most draws, so boundary-straddling is the common case."""
+    t0 = draw(st.floats(min_value=0.0, max_value=WINDOW / 2, allow_nan=False))
+    t1 = draw(st.floats(min_value=t0 + WINDOW / 4, max_value=WINDOW,
+                        allow_nan=False))
+    return t0, t1
+
+
+def _sources(jobs, files, transfers):
+    out = []
+    for shard_seconds in SHARD_SECONDS:
+        src = OpenSearchLike(shard_seconds=shard_seconds)
+        src.ingest_batch(jobs=jobs, files=files, transfers=transfers)
+        out.append(src)
+    return out
+
+
+# -- the parity property ----------------------------------------------------------
+
+
+class TestShardParity:
+    @given(population(), window())
+    @settings(max_examples=40, deadline=None)
+    def test_window_materialization_is_identical(self, pop, win):
+        t0, t1 = win
+        base, *rest = _sources(*pop)
+        jobs, files, transfers, columns = base.materialize_window(t0, t1)
+        for src in rest:
+            got_jobs, got_files, got_transfers, got_columns = (
+                src.materialize_window(t0, t1)
+            )
+            assert got_jobs == jobs
+            assert got_files == files
+            assert got_transfers == transfers
+            assert np.array_equal(got_columns.jobs.pandaid, columns.jobs.pandaid)
+            assert np.array_equal(got_columns.transfers.row_id,
+                                  columns.transfers.row_id)
+
+    @given(population(), window())
+    @settings(max_examples=25, deadline=None)
+    def test_match_reports_are_identical(self, pop, win):
+        t0, t1 = win
+        reports = [
+            MatchingPipeline(src, known_sites=KNOWN_SITES).run(t0, t1)
+            for src in _sources(*pop)
+        ]
+        base, *rest = reports
+        for r in rest:
+            for m in base.methods:
+                assert r[m].matched_pairs() == base[m].matched_pairs()
+                assert r[m] == base[m]
+            assert r == base
+
+    @given(population())
+    @settings(max_examples=15, deadline=None)
+    def test_streaming_accumulation_is_identical(self, pop):
+        jobs, files, transfers = pop
+        telemetry = DegradedTelemetry(jobs, files, transfers,
+                                      ground_truth=GroundTruth())
+        log = EventLog.from_telemetry(telemetry, 0.0, WINDOW)
+        procs = []
+        for shard_seconds in SHARD_SECONDS:
+            proc = StreamProcessor(
+                0.0, WINDOW, known_sites=KNOWN_SITES,
+                source=OpenSearchLike(shard_seconds=shard_seconds),
+            )
+            proc.run(log.micro_batches(batch_seconds=WINDOW / 5))
+            procs.append(proc)
+        base, *rest = procs
+        for proc in rest:
+            assert proc.report() == base.report()
+
+    def test_shard_counts_reports_partitioning(self):
+        jobs, files, transfers = (
+            _jobs(10.0, WINDOW / 2 + 10.0),
+            [make_file(pandaid=1)],
+            [make_transfer(row_id=1, start=10.0)],
+        )
+        src = OpenSearchLike(shard_seconds=WINDOW / 2)
+        src.ingest_batch(jobs=jobs, files=files, transfers=transfers)
+        counts = src.shard_counts()
+        assert counts["jobs"] == 2
+        assert counts["files"] == 1  # files stay unsharded
+        assert counts["transfers"] == 1
+
+    def test_sharded_ingest_lands_in_tail_shard_only(self):
+        src = OpenSearchLike(shard_seconds=100.0)
+        src.ingest_batch(
+            jobs=_jobs(10.0, 150.0), files=[], transfers=[]
+        )
+        before = FieldIndex.full_builds
+        src.ingest_batch(jobs=_jobs(180.0), files=[], transfers=[])
+        grown = FieldIndex.full_builds - before
+        assert grown <= len(OpenSearchLike.JOB_FIELDS)
