@@ -15,6 +15,11 @@
 * ``anomalies`` — campaign + anomaly report + mitigation advice;
 * ``scale`` — walk the 10x scale ladder (3.6k → 36k → … → ~1M jobs)
   and write per-rung throughput / peak-RSS / shard-count artifacts;
+* ``serve`` — run the multi-tenant match service (``repro.serve``)
+  under one open-loop Poisson session, print latency / shed / hit
+  statistics;
+* ``serve-bench`` — drive the service through a ladder of offered
+  loads and write the p50/p95/p99 + shed-rate saturation artifact;
 * ``growth`` — print the Fig 2 cumulative-volume series;
 * ``ablation`` — locality vs co-optimized brokerage comparison;
 * ``export`` — dump degraded telemetry and matching results to files.
@@ -372,6 +377,112 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant match service against one open-loop session."""
+    import asyncio
+    import json
+
+    from repro.serve import (
+        AdmissionPolicy,
+        LoadSpec,
+        MatchService,
+        ServeConfig,
+        Workload,
+        default_tenants,
+        run_workload,
+    )
+
+    study = _study(args)
+    t0, t1 = study.harness.window
+    tenants = default_tenants(args.tenants)
+    service = MatchService(
+        study.source,
+        known_sites=study.harness.known_site_names(),
+        tenants=tenants,
+        config=ServeConfig(
+            max_workers=args.serve_workers,
+            policy=AdmissionPolicy(
+                rate=args.tenant_rate if args.tenant_rate > 0 else None,
+                queue_depth=args.queue_depth,
+            ),
+            engine=args.engine,
+            frame=args.frame,
+            verify_every=args.verify_every,
+        ),
+    )
+    spec = LoadSpec.make(
+        tenants,
+        rate=args.rate,
+        duration=args.duration,
+        long_fraction=args.long_fraction,
+        seed=args.seed,
+    )
+    workload = Workload(spec, t0, t1)
+    arrivals = workload.schedule()
+    print(f"serving {len(arrivals)} requests from {len(tenants)} tenants "
+          f"at {args.rate:g} req/s ...", file=sys.stderr)
+
+    async def session():
+        async with service:
+            return await run_workload(service, arrivals)
+
+    stats = asyncio.run(session())
+    print(json.dumps(stats.summary(), indent=2, default=float))
+    if args.verify_every:
+        print(f"verified {service.verify_samples} sampled responses, "
+              f"{service.verify_violations} violations", file=sys.stderr)
+    return 1 if service.verify_violations else 0
+
+
+def cmd_serve_bench(args) -> int:
+    """Saturation ladder: latency/throughput/shed-rate per offered load."""
+    from repro.serve.bench import (
+        BenchConfig,
+        format_report,
+        run_serve_bench,
+        write_results,
+    )
+
+    rates = tuple(float(r) for r in args.rates.split(","))
+    config = BenchConfig(
+        days=args.days,
+        seed=args.seed,
+        intensity=args.intensity,
+        tenants=args.tenants,
+        max_workers=args.serve_workers,
+        queue_depth=args.queue_depth,
+        rates=rates,
+        duration=args.duration,
+        long_fraction=args.long_fraction,
+        verify_every=args.verify_every,
+        engine=args.engine,
+    )
+    print(f"simulating {args.days:g} days, then {len(rates)} load levels "
+          f"x {args.duration:g}s ...", file=sys.stderr)
+    results = run_serve_bench(config)
+    print(format_report(results))
+    path = write_results(results, args.out)
+    print(f"wrote {path}", file=sys.stderr)
+    return 1 if results["verify"]["violations"] else 0
+
+
+def _add_serve_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--tenants", type=int, default=8,
+                   help="number of tenants (default %(default)s)")
+    p.add_argument("--serve-workers", type=int, default=4, metavar="N",
+                   help="service compute threads (default %(default)s)")
+    p.add_argument("--queue-depth", type=int, default=24,
+                   help="per-tenant fair-queue bound (default %(default)s)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds of load per level (default %(default)s)")
+    p.add_argument("--long-fraction", type=float, default=0.1,
+                   help="fraction of full-window analysis requests "
+                        "(default %(default)s)")
+    p.add_argument("--verify-every", type=int, default=0, metavar="N",
+                   help="recompute every Nth response directly and compare "
+                        "(0 = off)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -446,6 +557,39 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--out", default="benchmarks/results/scale_ladder.json",
                     help="artifact path (default %(default)s)")
     sc.set_defaults(fn=cmd_scale)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant match service under one open-loop "
+             "Poisson session and print latency/shed/hit statistics")
+    _add_campaign_args(sv)
+    _add_serve_args(sv)
+    sv.add_argument("--rate", type=float, default=80.0,
+                    help="aggregate offered load in req/s (default %(default)s)")
+    sv.add_argument("--tenant-rate", type=float, default=0.0,
+                    help="per-tenant admission rate cap in req/s "
+                         "(0 = unlimited)")
+    sv.set_defaults(fn=cmd_serve)
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="drive the service through a ladder of offered loads and "
+             "write the p50/p95/p99 + shed-rate saturation artifact")
+    sb.add_argument("--days", type=float, default=1.5,
+                    help="campaign length in days (default %(default)s)")
+    sb.add_argument("--seed", type=int, default=2025, help="root random seed")
+    sb.add_argument("--intensity", type=float, default=1.0,
+                    help="arrival-rate scale for the simulated campaign")
+    sb.add_argument("--engine", default="columnar",
+                    help="matching join engine (default %(default)s)")
+    _add_serve_args(sb)
+    sb.add_argument("--rates", default="40,160,2400",
+                    help="comma-separated offered loads in req/s; the top "
+                         "rung should sit past saturation "
+                         "(default %(default)s)")
+    sb.add_argument("--out", default="benchmarks/results/serve_latency.json",
+                    help="artifact path (default %(default)s)")
+    sb.set_defaults(fn=cmd_serve_bench, verify_every=23)
 
     g = sub.add_parser("growth", help="print the Fig 2 volume series")
     g.set_defaults(fn=cmd_growth)

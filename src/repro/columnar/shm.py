@@ -34,6 +34,7 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
@@ -269,6 +270,7 @@ def attach(ref: ArchiveRef):
 # -- refcounted registry (one archive per live pool key) ----------------------
 
 _ARCHIVES: Dict[tuple, list] = {}
+_ARCHIVES_LOCK = threading.Lock()
 
 
 def acquire(source, key: tuple) -> PackArchive:
@@ -276,32 +278,53 @@ def acquire(source, key: tuple) -> PackArchive:
 
     Each pool holding the archive open must balance with one
     :func:`release`; the spool directory is unlinked when the last
-    holder lets go.
+    holder lets go.  Thread-safe: two executors racing the same key get
+    one export and two refcounts, never two spools.
     """
-    entry = _ARCHIVES.get(key)
-    if entry is None:
-        entry = _ARCHIVES[key] = [PackArchive.export(source), 0]
-    entry[1] += 1
+    with _ARCHIVES_LOCK:
+        entry = _ARCHIVES.get(key)
+        if entry is None:
+            entry = _ARCHIVES[key] = [None, 0]
+        entry[1] += 1
+    if entry[0] is None:
+        # Export outside the lock (it can be slow); publish under it.
+        try:
+            archive = PackArchive.export(source)
+        except Exception:
+            release(key)
+            raise
+        with _ARCHIVES_LOCK:
+            if entry[0] is None:
+                entry[0] = archive
+            else:  # lost the publication race; keep the winner's spool
+                archive.unlink()
     return entry[0]
 
 
 def release(key: tuple) -> None:
-    entry = _ARCHIVES.get(key)
-    if entry is None:
-        return
-    entry[1] -= 1
-    if entry[1] <= 0:
+    with _ARCHIVES_LOCK:
+        entry = _ARCHIVES.get(key)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] > 0:
+            return
         del _ARCHIVES[key]
+    if entry[0] is not None:
         entry[0].unlink()
 
 
 def active_archives() -> Dict[tuple, PackArchive]:
     """Live archives by pool key (observability + lifecycle tests)."""
-    return {k: v[0] for k, v in _ARCHIVES.items()}
+    with _ARCHIVES_LOCK:
+        return {k: v[0] for k, v in _ARCHIVES.items() if v[0] is not None}
 
 
 @atexit.register
 def _sweep() -> None:
-    for entry in list(_ARCHIVES.values()):
-        entry[0].unlink()
-    _ARCHIVES.clear()
+    with _ARCHIVES_LOCK:
+        entries = list(_ARCHIVES.values())
+        _ARCHIVES.clear()
+    for entry in entries:
+        if entry[0] is not None:
+            entry[0].unlink()

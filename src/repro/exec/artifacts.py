@@ -28,6 +28,7 @@ generation, so stale artifacts can never be served.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
@@ -211,6 +212,15 @@ class ArtifactCache:
     generations eagerly (they can never hit again).  The cache's
     ``engine`` becomes each materialized artifacts' default engine —
     both joins stay lazily available either way.
+
+    The cache is thread-safe — the serving layer shares one instance
+    across its whole worker pool.  One lock guards the LRU order, the
+    eviction sweeps, and the hit/miss/eviction stats; materialization
+    itself runs *outside* the lock so two threads missing on different
+    windows overlap their metastore work.  Two threads missing on the
+    same key may both materialize, but only one result is kept
+    (first-insert wins) and both callers get that shared object —
+    duplicated work, never divergent state.
     """
 
     def __init__(
@@ -222,6 +232,7 @@ class ArtifactCache:
         self.max_entries = max_entries
         self.engine = validate_engine(engine or DEFAULT_ENGINE)
         self._entries: "OrderedDict[tuple, WindowArtifacts]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -230,22 +241,22 @@ class ArtifactCache:
         obs = get_obs()
         generation = getattr(self.source, "generation", 0)
         key = plan.key(generation)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.hits += 1
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                if obs.enabled:
+                    obs.metrics.counter("artifact.cache", event="hit").inc()
+                self._entries.move_to_end(key)
+                return cached
+            self.misses += 1
             if obs.enabled:
-                obs.metrics.counter("artifact.cache", event="hit").inc()
-            self._entries.move_to_end(key)
-            return cached
-
-        self.misses += 1
-        if obs.enabled:
-            obs.metrics.counter("artifact.cache", event="miss").inc()
-        # Entries from older generations are dead; drop them all.
-        stale = [k for k in self._entries if k[3] != generation]
-        for k in stale:
-            del self._entries[k]
-        self._evicted(obs, len(stale))
+                obs.metrics.counter("artifact.cache", event="miss").inc()
+            # Entries from older generations are dead; drop them all.
+            stale = [k for k in self._entries if k[3] != generation]
+            for k in stale:
+                del self._entries[k]
+            self._evicted(obs, len(stale))
 
         with obs.tracer.span("artifact.materialize", cat="artifact") as sp:
             artifacts = WindowArtifacts.materialize(self.source, plan, engine=self.engine)
@@ -254,10 +265,16 @@ class ArtifactCache:
             sp.set("n_jobs", len(artifacts.jobs))
             sp.set("n_files", len(artifacts.files))
             sp.set("n_transfers", len(artifacts.transfers))
-        self._entries[key] = artifacts
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self._evicted(obs, 1)
+
+        with self._lock:
+            racing = self._entries.get(key)
+            if racing is not None:
+                self._entries.move_to_end(key)
+                return racing
+            self._entries[key] = artifacts
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evicted(obs, 1)
         return artifacts
 
     def _evicted(self, obs, n: int) -> None:
@@ -267,16 +284,19 @@ class ArtifactCache:
                 obs.metrics.counter("artifact.cache", event="evict").inc(n)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def stats(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": len(self._entries),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+            }

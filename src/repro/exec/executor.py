@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
@@ -250,6 +251,12 @@ class ParallelExecutor(Executor):
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_key: Optional[tuple] = None
         self._archive_key: Optional[tuple] = None
+        # Guards pool creation/rotation, archive acquire/release, and
+        # close(): the serving layer drives one executor from many
+        # threads, and an unguarded key-change check could build two
+        # pools (leaking one plus its archive refcount) or double-release
+        # an archive when two callers race a generation bump.
+        self._lock = threading.RLock()
         #: Number of pool initializations over this executor's lifetime;
         #: a sweep over one source must leave this at 1.
         self.pool_inits = 0
@@ -306,40 +313,48 @@ class ParallelExecutor(Executor):
         live pool can serve it.  ``initargs_for`` is invoked only when
         a pool is actually created, so archive exports happen once per
         key, not once per call.
+
+        Thread-safe: concurrent callers on one key share one pool (the
+        creation race is resolved under the executor lock), and callers
+        racing a key change rotate exactly once.
         """
         obs = get_obs()
-        if self._pool is not None:
-            if key == self._pool_key or key[0] == "bare":
-                if obs.enabled:
-                    obs.metrics.counter("executor.pool", event="reuse").inc()
-                return self._pool
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            # The outgoing pool's workers held the old archive's maps;
-            # they are gone after shutdown, so the spool can go too.
-            self._release_archive()
-        self.pool_inits += 1
-        if obs.enabled:
-            obs.metrics.counter("executor.pool", event="init").inc()
-        with obs.tracer.span("executor.pool_init", cat="executor") as sp:
-            sp.set("workers", self.workers)
-            initargs = initargs_for() if initargs_for is not None else None
-            sp.set("seed_mode", self.seed_mode if initargs is not None else "none")
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=self._mp_context,
-                initializer=_worker_init if initargs is not None else None,
-                initargs=initargs if initargs is not None else (),
-            )
-        self._pool_key = key
-        return self._pool
+        with self._lock:
+            if self._pool is not None:
+                if key == self._pool_key or key[0] == "bare":
+                    if obs.enabled:
+                        obs.metrics.counter("executor.pool", event="reuse").inc()
+                    return self._pool
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                # The outgoing pool's workers held the old archive's maps;
+                # they are gone after shutdown, so the spool can go too.
+                self._release_archive()
+            self.pool_inits += 1
+            if obs.enabled:
+                obs.metrics.counter("executor.pool", event="init").inc()
+            with obs.tracer.span("executor.pool_init", cat="executor") as sp:
+                sp.set("workers", self.workers)
+                initargs = initargs_for() if initargs_for is not None else None
+                sp.set("seed_mode", self.seed_mode if initargs is not None else "none")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=self._mp_context,
+                    initializer=_worker_init if initargs is not None else None,
+                    initargs=initargs if initargs is not None else (),
+                )
+            self._pool_key = key
+            return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_key = None
-        self._release_archive()
+        """Release the pool and any spooled archive.  Idempotent and
+        thread-safe: a second (or concurrent) close is a no-op."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_key = None
+            self._release_archive()
 
     def __del__(self) -> None:
         # Defensive: tests and sweeps that forget close() must not leak

@@ -11,10 +11,19 @@ Instruments are keyed by ``(name, labels)`` so one registry holds e.g.
 registry hands out shared no-op instruments, so call sites need no
 conditionals.  ``snapshot()`` freezes everything into a deterministic,
 JSON-ready dict (sorted by name then labels).
+
+The registry and every instrument are thread-safe: the serving layer
+(:mod:`repro.serve`) updates tenant counters and latency histograms
+from a pool of worker threads, and a lost ``+=`` under contention would
+silently corrupt shed-rate and hit-rate accounting.  Counters and
+gauges share one registry-wide lock with instrument creation;
+histograms take it around their three-field update so ``counts``,
+``count``, and ``sum`` can never be observed torn.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -32,25 +41,29 @@ SIZE_BUCKETS: Tuple[float, ...] = (
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
     """A last-write-wins scalar."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Histogram:
@@ -62,7 +75,7 @@ class Histogram:
     above the last edge land in the overflow bucket.
     """
 
-    __slots__ = ("edges", "counts", "count", "sum")
+    __slots__ = ("edges", "counts", "count", "sum", "_lock")
 
     def __init__(self, edges: Sequence[float]) -> None:
         if not edges or list(edges) != sorted(edges):
@@ -71,11 +84,30 @@ class Histogram:
         self.counts = [0] * (len(self.edges) + 1)  # +1: overflow
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.edges, value)] += 1
-        self.count += 1
-        self.sum += value
+        with self._lock:
+            self.counts[bisect_left(self.edges, value)] += 1
+            self.count += 1
+            self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper edge of the bucket
+        the ``q``-th observation falls in; ``inf`` for the overflow)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            total, counts = self.count, list(self.counts)
+        if total == 0:
+            return float("nan")
+        rank = q * (total - 1)
+        seen = 0
+        for i, c in enumerate(counts):
+            seen += c
+            if seen > rank:
+                return self.edges[i] if i < len(self.edges) else float("inf")
+        return float("inf")
 
 
 class _NoopInstrument:
@@ -104,6 +136,7 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
+        self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
         self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
@@ -118,7 +151,8 @@ class MetricsRegistry:
         key = self._key(name, labels)
         inst = self._counters.get(key)
         if inst is None:
-            inst = self._counters[key] = Counter()
+            with self._lock:
+                inst = self._counters.setdefault(key, Counter())
         return inst
 
     def gauge(self, name: str, **labels):
@@ -127,7 +161,8 @@ class MetricsRegistry:
         key = self._key(name, labels)
         inst = self._gauges.get(key)
         if inst is None:
-            inst = self._gauges[key] = Gauge()
+            with self._lock:
+                inst = self._gauges.setdefault(key, Gauge())
         return inst
 
     def histogram(self, name: str, edges: Optional[Sequence[float]] = None, **labels):
@@ -136,9 +171,10 @@ class MetricsRegistry:
         key = self._key(name, labels)
         inst = self._histograms.get(key)
         if inst is None:
-            inst = self._histograms[key] = Histogram(
-                edges if edges is not None else LATENCY_BUCKETS
-            )
+            with self._lock:
+                inst = self._histograms.setdefault(
+                    key, Histogram(edges if edges is not None else LATENCY_BUCKETS)
+                )
         return inst
 
     # -- export ----------------------------------------------------------------
@@ -152,11 +188,15 @@ class MetricsRegistry:
                 for (name, labels), inst in sorted(table.items())
             ]
 
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
         return {
-            "counters": rows(self._counters, lambda c: {"value": c.value}),
-            "gauges": rows(self._gauges, lambda g: {"value": g.value}),
+            "counters": rows(counters, lambda c: {"value": c.value}),
+            "gauges": rows(gauges, lambda g: {"value": g.value}),
             "histograms": rows(
-                self._histograms,
+                histograms,
                 lambda h: {
                     "edges": list(h.edges),
                     "counts": list(h.counts),

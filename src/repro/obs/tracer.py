@@ -24,6 +24,7 @@ Two properties matter more than features:
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from typing import Any, Callable, List, Optional
 
@@ -128,8 +129,22 @@ class Tracer:
         self.clock = clock if clock is not None else time.perf_counter
         #: finished spans, in completion order
         self.spans: List[Span] = []
-        self._stack: List[Span] = []
+        # Nesting is a property of one thread of execution: the serving
+        # layer records spans from several worker threads at once, and a
+        # shared stack would thread their parent/depth chains together.
+        # Each thread gets its own stack; the finished list and the id
+        # counter stay shared behind one lock.
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 0
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's active-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, cat: str = "misc"):
         """A new span (or the no-op singleton when disabled)."""
@@ -153,22 +168,26 @@ class Tracer:
     # -- span lifecycle (called by Span.__enter__/__exit__) --------------------
 
     def _enter(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        if self._stack:
-            span.parent_id = self._stack[-1].span_id
-        span.depth = len(self._stack)
-        self._stack.append(span)
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack
+        if stack:
+            span.parent_id = stack[-1].span_id
+        span.depth = len(stack)
+        stack.append(span)
         span.start = self.clock()
 
     def _exit(self, span: Span) -> None:
         span.end = self.clock()
         # Tolerate exception-driven unwinding of several levels at once.
-        while self._stack and self._stack[-1] is not span:
-            self._stack.pop()
-        if self._stack:
-            self._stack.pop()
-        self.spans.append(span)
+        stack = self._stack
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        with self._lock:
+            self.spans.append(span)
 
     # -- inspection ------------------------------------------------------------
 
@@ -187,9 +206,10 @@ class Tracer:
         return out
 
     def clear(self) -> None:
-        self.spans.clear()
-        self._stack.clear()
-        self._next_id = 0
+        with self._lock:
+            self.spans.clear()
+            self._stack.clear()
+            self._next_id = 0
 
     def __len__(self) -> int:
         return len(self.spans)

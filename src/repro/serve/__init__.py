@@ -1,0 +1,59 @@
+"""Multi-tenant serving over the shared metastore (§4 operations view).
+
+The batch dataplane of PRs 1-6 answers one caller at a time; this
+package turns it into a long-lived service: admission control
+(:mod:`~repro.serve.admission`), weighted fair scheduling across
+tenants (:mod:`~repro.serve.scheduler`), generation-keyed cross-tenant
+result memoization (:mod:`~repro.serve.memo`), the asyncio service
+itself (:mod:`~repro.serve.service`), and an open-loop Poisson load
+generator plus saturation benchmark (:mod:`~repro.serve.loadgen`,
+:mod:`~repro.serve.bench`).  Served results are bit-identical to the
+batch pipeline's — continuously sampled in-service, property-tested in
+``tests/test_serve.py``, and gated in CI.
+"""
+
+from repro.serve.admission import (
+    SHED_QUEUE,
+    SHED_RATE,
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.serve.bench import BenchConfig, default_tenants, run_serve_bench
+from repro.serve.loadgen import Arrival, LoadSpec, RunStats, Workload, run_workload
+from repro.serve.memo import ResultMemo
+from repro.serve.scheduler import FairScheduler
+from repro.serve.service import (
+    AnalysisQuery,
+    MatchQuery,
+    MatchService,
+    Response,
+    RWLock,
+    ServeConfig,
+    bit_identical,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AnalysisQuery",
+    "Arrival",
+    "BenchConfig",
+    "FairScheduler",
+    "LoadSpec",
+    "MatchQuery",
+    "MatchService",
+    "Response",
+    "ResultMemo",
+    "RunStats",
+    "RWLock",
+    "SHED_QUEUE",
+    "SHED_RATE",
+    "ServeConfig",
+    "TokenBucket",
+    "Workload",
+    "bit_identical",
+    "default_tenants",
+    "run_serve_bench",
+    "run_workload",
+]

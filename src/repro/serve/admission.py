@@ -1,0 +1,128 @@
+"""Admission control: token buckets and bounded per-tenant queues.
+
+A long-lived service in front of the metastore cannot let any one
+tenant convert an arrival burst into unbounded queue growth — Rucio's
+daemons solve this with per-activity shares and bounded work queues,
+and an open-loop workload (arrivals independent of completions) makes
+the failure mode sharp: past saturation, latency grows without bound
+unless something sheds.  Admission here is two independent checks made
+*before* a request ever reaches the fair queue:
+
+* a per-tenant :class:`TokenBucket` caps sustained request rate while
+  allowing bursts up to its capacity — the classic leaky-bucket dual;
+* a per-tenant queue-depth bound caps how much latency a tenant can
+  buy itself by over-submitting.
+
+A request failing either check is **shed** immediately with an
+explicit reason (the HTTP-429 analogue); the caller sees the shed in
+its response stream rather than a timeout, and the shed rate is the
+benchmark's saturation signal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    The clock is injectable (any zero-argument callable returning
+    seconds) so tests can drive refill deterministically.  The bucket
+    starts full — a fresh tenant may burst immediately.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock if clock is not None else time.monotonic
+        self._tokens = float(burst)
+        self._last = self.clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        with self._lock:
+            now = self.clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (after a refill to 'now')."""
+        with self._lock:
+            now = self.clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+            return self._tokens
+
+
+#: Shed reasons (the ``Response.reason`` vocabulary).
+SHED_RATE = "rate"
+SHED_QUEUE = "queue"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-tenant limits.
+
+    ``rate``/``burst`` parameterize the token bucket (``rate=None``
+    disables rate limiting for the tenant); ``queue_depth`` bounds how
+    many of the tenant's requests may wait in the fair queue at once.
+    """
+
+    rate: Optional[float] = None
+    burst: float = 8.0
+    queue_depth: int = 32
+
+
+class AdmissionController:
+    """Applies one :class:`AdmissionPolicy` per tenant.
+
+    ``admit(tenant, queued)`` returns ``None`` to accept or a shed
+    reason string; ``queued`` is the tenant's current fair-queue depth
+    (owned by the service, which is the single writer).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock = clock
+        self._policies: Dict[str, AdmissionPolicy] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.shed_counts: Dict[str, int] = {SHED_RATE: 0, SHED_QUEUE: 0}
+
+    def register(self, tenant: str, policy: AdmissionPolicy) -> None:
+        self._policies[tenant] = policy
+        if policy.rate is not None:
+            self._buckets[tenant] = TokenBucket(
+                policy.rate, policy.burst, clock=self.clock
+            )
+        else:
+            self._buckets.pop(tenant, None)
+
+    def policy(self, tenant: str) -> AdmissionPolicy:
+        return self._policies[tenant]
+
+    def admit(self, tenant: str, queued: int) -> Optional[str]:
+        policy = self._policies[tenant]
+        if queued >= policy.queue_depth:
+            self.shed_counts[SHED_QUEUE] += 1
+            return SHED_QUEUE
+        bucket = self._buckets.get(tenant)
+        if bucket is not None and not bucket.try_acquire():
+            self.shed_counts[SHED_RATE] += 1
+            return SHED_RATE
+        return None

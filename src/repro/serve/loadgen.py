@@ -1,0 +1,255 @@
+"""Open-loop Poisson workload generation for the match service.
+
+Closed-loop clients (issue, wait, issue) self-throttle at saturation
+and hide the latency cliff; an **open-loop** generator fires requests
+at scheduled arrival times regardless of completions, which is how
+real dashboard traffic behaves and the only way to observe shedding.
+The shape follows the absim simulator's workload model: a weighted
+tenant mix, Poisson (exponential-gap) arrivals, and a configurable
+fraction of "long" requests — here, full-window analyses amid cheap
+dashboard sub-window queries.
+
+Everything is precomputed from a seeded RNG: :meth:`Workload.schedule`
+returns the complete arrival list (time, tenant, query) before a single
+request is issued, so a benchmark run is reproducible and two load
+levels differ only in arrival spacing.  Dashboard queries draw from a
+small fixed set of sub-windows per tenant — deliberately overlapping
+across tenants so cross-tenant memoization has something to hit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.service import (
+    AnalysisQuery,
+    MatchQuery,
+    MatchService,
+    Response,
+)
+
+#: Cheap per-window analyses a dashboard would poll.
+DASHBOARD_SPECS: Tuple[str, ...] = ("headline", "table1", "sites")
+#: Expensive specs reserved for the long-request fraction.
+LONG_SPECS: Tuple[str, ...] = ("table2_transfers", "thresholds", "top_remote")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: fire at ``at`` seconds from run start."""
+
+    at: float
+    tenant: str
+    query: object
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Shape of one generated workload.
+
+    ``rate`` is the *aggregate* arrival rate (requests/s) across all
+    tenants; per-tenant rates follow the weights.  ``ramp`` optionally
+    replaces the flat rate with ``(rate, duration)`` segments played
+    back to back — a ramp schedule for tracing the saturation curve in
+    one run.
+    """
+
+    tenants: Tuple[Tuple[str, float], ...]     # (name, weight) pairs
+    rate: float = 50.0
+    duration: float = 2.0
+    ramp: Tuple[Tuple[float, float], ...] = ()  # (rate, duration) segments
+    long_fraction: float = 0.1
+    dashboard_windows: int = 4
+    seed: int = 2025
+
+    @classmethod
+    def make(
+        cls,
+        tenants: Dict[str, float],
+        **kw,
+    ) -> "LoadSpec":
+        return cls(tenants=tuple(sorted(tenants.items())), **kw)
+
+    @property
+    def segments(self) -> Tuple[Tuple[float, float], ...]:
+        return self.ramp if self.ramp else ((self.rate, self.duration),)
+
+
+class Workload:
+    """Deterministic arrival schedule over one data window [t0, t1)."""
+
+    def __init__(self, spec: LoadSpec, t0: float, t1: float) -> None:
+        if not spec.tenants:
+            raise ValueError("workload needs at least one tenant")
+        self.spec = spec
+        self.t0 = float(t0)
+        self.t1 = float(t1)
+        self._rng = np.random.default_rng(spec.seed)
+        # The shared dashboard: a few sub-windows every tenant polls.
+        # Anchored at t0 with growing extents — realistic "last N hours"
+        # panels — so plans collide across tenants and the memo earns
+        # its hits.
+        span = self.t1 - self.t0
+        self.windows: List[Tuple[float, float]] = [
+            (self.t0, self.t0 + span * (k + 1) / (spec.dashboard_windows + 1))
+            for k in range(spec.dashboard_windows)
+        ]
+
+    # -- query mix -------------------------------------------------------------
+
+    def _query(self):
+        rng = self._rng
+        if rng.random() < self.spec.long_fraction:
+            # Long request: an expensive analysis over the full window.
+            spec = LONG_SPECS[rng.integers(len(LONG_SPECS))]
+            return AnalysisQuery(self.t0, self.t1, spec=spec)
+        w0, w1 = self.windows[rng.integers(len(self.windows))]
+        if rng.random() < 0.5:
+            return MatchQuery(w0, w1)
+        spec = DASHBOARD_SPECS[rng.integers(len(DASHBOARD_SPECS))]
+        return AnalysisQuery(w0, w1, spec=spec)
+
+    def schedule(self) -> List[Arrival]:
+        """The full arrival list, sorted by time."""
+        rng = self._rng
+        names = [t for t, _ in self.spec.tenants]
+        weights = np.array([w for _, w in self.spec.tenants], dtype=float)
+        weights = weights / weights.sum()
+        arrivals: List[Arrival] = []
+        offset = 0.0
+        for rate, duration in self.spec.segments:
+            if rate <= 0 or duration <= 0:
+                raise ValueError("ramp segments need positive rate and duration")
+            t = offset
+            while True:
+                t += float(rng.exponential(1.0 / rate))
+                if t >= offset + duration:
+                    break
+                tenant = names[int(rng.choice(len(names), p=weights))]
+                arrivals.append(Arrival(at=t, tenant=tenant, query=self._query()))
+            offset += duration
+        return arrivals
+
+
+# -- driving a service ---------------------------------------------------------
+
+
+@dataclass
+class RunStats:
+    """Aggregated outcome of one open-loop run."""
+
+    wall: float
+    completed: int = 0
+    shed: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    latencies: List[float] = field(default_factory=list)
+    shed_reasons: Dict[str, int] = field(default_factory=dict)
+    by_tenant: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def offered(self) -> int:
+        return self.completed + self.shed + self.errors
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.wall if self.wall > 0 else 0.0
+
+    def quantile(self, q: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.quantile(np.asarray(self.latencies), q))
+
+    def summary(self) -> dict:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "shed_rate": round(self.shed_rate, 4),
+            "cache_hit_rate": round(self.hit_rate, 4),
+            "throughput_rps": round(self.throughput, 2),
+            "latency_s": {
+                "p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+            },
+            "shed_reasons": dict(self.shed_reasons),
+            "by_tenant": {t: dict(c) for t, c in sorted(self.by_tenant.items())},
+        }
+
+
+async def run_workload(
+    service: MatchService,
+    arrivals: Sequence[Arrival],
+    speed: float = 1.0,
+    ingest_at: Optional[float] = None,
+    ingest_batch: Optional[tuple] = None,
+) -> RunStats:
+    """Fire ``arrivals`` open-loop against a started service.
+
+    ``speed`` scales the clock (2.0 = twice as fast).  When
+    ``ingest_at`` is given, ``ingest_batch`` — a ``(jobs, files,
+    transfers)`` triple — is ingested at that schedule time, bumping
+    the store generation mid-run the way live telemetry would.
+    """
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+
+    async def fire(arrival: Arrival) -> Response:
+        delay = arrival.at / speed - (loop.time() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return await service.submit(arrival.tenant, arrival.query)
+
+    async def ingest() -> None:
+        delay = ingest_at / speed - (loop.time() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        jobs, files, transfers = ingest_batch
+        await loop.run_in_executor(
+            None, lambda: service.ingest(jobs=jobs, files=files, transfers=transfers)
+        )
+
+    tasks = [asyncio.ensure_future(fire(a)) for a in arrivals]
+    if ingest_at is not None and ingest_batch is not None:
+        tasks.append(asyncio.ensure_future(ingest()))
+    results = await asyncio.gather(*tasks, return_exceptions=True)
+    await service.drain()
+    wall = loop.time() - start
+
+    stats = RunStats(wall=wall)
+    for result in results:
+        if result is None:  # the ingest task
+            continue
+        if isinstance(result, BaseException):
+            stats.errors += 1
+            continue
+        tenant = stats.by_tenant.setdefault(
+            result.tenant, {"ok": 0, "shed": 0}
+        )
+        if result.ok:
+            stats.completed += 1
+            tenant["ok"] += 1
+            stats.latencies.append(result.latency)
+            if result.cached:
+                stats.cache_hits += 1
+        else:
+            stats.shed += 1
+            tenant["shed"] += 1
+            stats.shed_reasons[result.reason] = (
+                stats.shed_reasons.get(result.reason, 0) + 1
+            )
+    return stats

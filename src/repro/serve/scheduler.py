@@ -1,0 +1,78 @@
+"""Weighted fair scheduling across tenant queues (stride scheduling).
+
+Admitted requests wait in one FIFO queue per tenant; the dispatcher
+asks this scheduler which tenant goes next.  Stride scheduling keeps a
+*pass* value per tenant and always serves the backlogged tenant with
+the smallest pass, advancing it by ``1 / weight`` per dispatch — so
+over any busy interval tenant throughput is proportional to weight,
+regardless of arrival pattern, and a tenant that was idle cannot hoard
+credit (its pass is clamped forward to the global minimum when it
+becomes backlogged again).
+
+The scheduler is deliberately not thread-safe: it is owned by the
+service's dispatcher and only ever touched from the event loop, which
+also makes the dispatch order deterministic given the arrival order
+(ties break on tenant name).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+
+class FairScheduler:
+    """Per-tenant FIFO queues drained in stride order."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque] = {}
+        self._weights: Dict[str, float] = {}
+        self._pass: Dict[str, float] = {}
+
+    def register(self, tenant: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        self._queues.setdefault(tenant, deque())
+        self._weights[tenant] = float(weight)
+        self._pass.setdefault(tenant, 0.0)
+
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._queues))
+
+    def weight(self, tenant: str) -> float:
+        return self._weights[tenant]
+
+    def push(self, tenant: str, item) -> None:
+        queue = self._queues[tenant]
+        if not queue:
+            # A tenant returning from idle starts at the current
+            # frontier: unused credit does not accumulate (standard
+            # stride/WFQ re-entry rule), otherwise a long-idle tenant
+            # could monopolize the server for its whole backlog.
+            floor = min(
+                (self._pass[t] for t, q in self._queues.items() if q and t != tenant),
+                default=None,
+            )
+            if floor is not None and self._pass[tenant] < floor:
+                self._pass[tenant] = floor
+        queue.append(item)
+
+    def pop(self) -> Optional[Tuple[str, object]]:
+        """The next (tenant, item) in weighted fair order; None if idle."""
+        best: Optional[str] = None
+        for tenant in sorted(self._queues):
+            if not self._queues[tenant]:
+                continue
+            if best is None or self._pass[tenant] < self._pass[best]:
+                best = tenant
+        if best is None:
+            return None
+        self._pass[best] += 1.0 / self._weights[best]
+        return best, self._queues[best].popleft()
+
+    def depth(self, tenant: str) -> int:
+        return len(self._queues[tenant])
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())

@@ -308,3 +308,56 @@ class TestPersistentPool:
             row = ex.execute(source, [plan], engine="row")[0]
             assert ex.pool_inits == 2
             assert _report_fingerprint(col) == _report_fingerprint(row)
+
+
+class TestArtifactCacheThreadSafety:
+    """The serving layer shares one cache across worker threads."""
+
+    def test_hammer_accounting_is_exact(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        source = tiny_source()
+        cache = ArtifactCache(source, max_entries=4)
+        plans = [WindowPlan(0.0, 5_000.0 + 1_000.0 * k) for k in range(3)]
+        threads, rounds = 8, 60
+        barrier = threading.Barrier(threads)
+
+        def work(i):
+            barrier.wait()
+            got = []
+            for k in range(rounds):
+                got.append(cache.get(plans[(i + k) % len(plans)]))
+            return got
+
+        with ThreadPoolExecutor(threads) as pool:
+            results = [f.result() for f in
+                       [pool.submit(work, i) for i in range(threads)]]
+        # no lost accounting: every get is either a hit or a miss
+        assert cache.hits + cache.misses == threads * rounds
+        assert len(cache) <= 4
+        # every caller got artifacts for the generation it asked under
+        for got in results:
+            assert all(a.generation == source.generation for a in got)
+
+    def test_racing_misses_converge_to_one_entry(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        source = tiny_source()
+        cache = ArtifactCache(source)
+        plan = WindowPlan(0.0, 10_000.0)
+        barrier = threading.Barrier(8)
+
+        def work(_):
+            barrier.wait()
+            return cache.get(plan)
+
+        with ThreadPoolExecutor(8) as pool:
+            got = [f.result() for f in [pool.submit(work, i) for i in range(8)]]
+        # first insert wins: late racers adopt the cached object, so at
+        # most one materialization survives and later gets share it
+        assert len(cache) == 1
+        survivor = cache.get(plan)
+        assert sum(1 for a in got if a is survivor) >= 1
+        assert cache.get(plan) is survivor

@@ -381,3 +381,106 @@ class TestInstrumentedPipeline:
         gauges = {g["name"]: g["value"] for g in bundle.metrics.snapshot()["gauges"]}
         assert "stream.watermark_lag" not in gauges
         assert gauges.get("stream.pending_jobs") == 0.0
+
+
+# -- thread safety ----------------------------------------------------------------
+
+
+class TestObsThreadSafety:
+    """Regression hammers for the serving layer's concurrency contract.
+
+    Eight service threads update shared counters, histograms, and spans;
+    a single lost ``+=`` would silently corrupt shed-rate / hit-rate
+    accounting, so these assert exact totals.
+    """
+
+    THREADS = 8
+    ROUNDS = 2_000
+
+    def _hammer(self, work):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(self.THREADS) as pool:
+            for f in [pool.submit(work, i) for i in range(self.THREADS)]:
+                f.result()
+
+    def test_counter_loses_no_updates(self):
+        reg = MetricsRegistry()
+
+        def work(_):
+            counter = reg.counter("serve.requests", tenant="t", status="ok")
+            for _ in range(self.ROUNDS):
+                counter.inc()
+
+        self._hammer(work)
+        assert reg.counter("serve.requests", tenant="t", status="ok").value \
+            == self.THREADS * self.ROUNDS
+
+    def test_histogram_loses_no_observations(self):
+        reg = MetricsRegistry()
+
+        def work(i):
+            hist = reg.histogram("serve.latency")
+            for k in range(self.ROUNDS):
+                hist.observe(0.0005 * ((i + k) % 9))
+
+        self._hammer(work)
+        hist = reg.histogram("serve.latency")
+        assert hist.count == self.THREADS * self.ROUNDS
+        assert sum(hist.counts) == hist.count
+
+    def test_concurrent_creation_yields_one_instrument(self):
+        import threading
+
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+        got = []
+
+        def work(_):
+            barrier.wait()
+            got.append(reg.counter("hot", path="x"))
+
+        self._hammer(work)
+        assert all(c is got[0] for c in got)
+        assert len(reg) == 1
+
+    def test_histogram_quantile_bucket_resolution(self):
+        hist = Histogram(edges=(0.001, 0.01, 0.1))
+        for _ in range(90):
+            hist.observe(0.0005)
+        for _ in range(10):
+            hist.observe(0.05)
+        assert hist.quantile(0.5) == 0.001
+        assert hist.quantile(0.95) == 0.1
+        hist.observe(5.0)  # overflow
+        assert hist.quantile(1.0) == float("inf")
+        import math
+
+        assert math.isnan(Histogram(edges=(1.0,)).quantile(0.5))
+
+    def test_tracer_spans_from_many_threads(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        tr = Tracer()
+        per_thread = 200
+
+        def work(i):
+            for k in range(per_thread):
+                with tr.span(f"outer-{i}") as outer:
+                    with tr.span(f"inner-{i}"):
+                        pass
+            return i
+
+        with ThreadPoolExecutor(self.THREADS) as pool:
+            for f in [pool.submit(work, i) for i in range(self.THREADS)]:
+                f.result()
+        spans = tr.spans
+        assert len(spans) == self.THREADS * per_thread * 2
+        assert len({s.span_id for s in spans}) == len(spans)  # ids never collide
+        # nesting is per-thread: every inner span's parent is an outer
+        # span from its own thread (same -<i> suffix)
+        by_id = {s.span_id: s for s in spans}
+        for s in spans:
+            if s.name.startswith("inner"):
+                parent = by_id[s.parent_id]
+                assert parent.name == "outer" + s.name[5:]

@@ -243,3 +243,94 @@ class TestSourceToken:
         assert key[1] == source_token(src)
         assert key[1][0] == "tok"
         assert id(src) not in key
+
+
+# -- concurrent lifecycle ----------------------------------------------------------
+
+
+class TestConcurrentLifecycle:
+    """The serving layer drives one executor from several threads."""
+
+    def test_close_is_idempotent_and_thread_safe(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        src = _source()
+        ex = ParallelExecutor(workers=2, engine="columnar")
+        ex.execute(src, [PLAN], known_sites=KNOWN_SITES)
+        with ThreadPoolExecutor(4) as pool:
+            for f in [pool.submit(ex.close) for _ in range(8)]:
+                f.result()
+        assert not shm.active_archives()
+        ex.close()  # and once more, after the pool is gone
+        assert ex._pool is None
+
+    def test_concurrent_executes_share_one_pool(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        src = _source()
+        barrier = threading.Barrier(4)
+
+        def run(_):
+            barrier.wait()
+            return ex.execute(src, [PLAN], known_sites=KNOWN_SITES)[0]
+
+        with ParallelExecutor(workers=2, engine="columnar") as ex:
+            with ThreadPoolExecutor(4) as pool:
+                reports = [f.result() for f in
+                           [pool.submit(run, i) for i in range(4)]]
+            assert ex.pool_inits == 1  # one init round, shared by all
+            assert len(shm.active_archives()) == 1
+        assert all(r == reports[0] for r in reports)
+        assert not shm.active_archives()
+
+    def test_racing_generation_bump_rotates_once(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        src = _source()
+        with ParallelExecutor(workers=2, engine="columnar") as ex:
+            ex.execute(src, [PLAN], known_sites=KNOWN_SITES)
+            (old,) = shm.active_archives().values()
+            src.ingest_batch(jobs=[make_job(pandaid=88, jeditaskid=301,
+                                            end=8000.0)])
+            barrier = threading.Barrier(2)
+
+            def bump(_):
+                barrier.wait()
+                return ex.execute(src, [PLAN], known_sites=KNOWN_SITES)[0]
+
+            with ThreadPoolExecutor(2) as pool:
+                r1, r2 = [f.result() for f in
+                          [pool.submit(bump, i) for i in range(2)]]
+            assert r1 == r2
+            assert ex.pool_inits == 2  # the rotation happened exactly once
+            (new,) = shm.active_archives().values()
+            assert new is not old
+            assert not old.exists()  # old generation's refcount hit zero
+            assert new.exists()
+        assert not shm.active_archives()
+
+    def test_racing_acquires_export_once_and_refcount(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        src = _pack_source()
+        key = ("source", ("tok", -9), src.generation, "columnar")
+        barrier = threading.Barrier(4)
+
+        def grab(_):
+            barrier.wait()
+            return shm.acquire(src, key)
+
+        with ThreadPoolExecutor(4) as pool:
+            archives = [f.result() for f in
+                        [pool.submit(grab, i) for i in range(4)]]
+        first = archives[0]
+        assert all(a is first for a in archives)  # one export, shared
+        for _ in range(3):
+            shm.release(key)
+            assert first.exists()  # holders remain
+        shm.release(key)
+        assert not first.exists()
+        assert key not in shm.active_archives()
