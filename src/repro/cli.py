@@ -277,6 +277,13 @@ def cmd_profile(args) -> int:
     study.analyses(workers=args.workers)
     processor = study.stream(batch_seconds=args.batch_hours * 3600.0)
 
+    # A small closed-loop run so control-loop spans ("coopt" category)
+    # appear in the same trace as matching/analysis/streaming.
+    from repro.scenarios.coopt import CoOptConfig, run_policy
+
+    run_policy(CoOptConfig(seed=args.seed, days=0.25, epoch_hours=2.0),
+               "full", obs=obs)
+
     os.makedirs(args.out, exist_ok=True)
     trace_path = os.path.join(args.out, "trace.json")
     metrics_path = os.path.join(args.out, "metrics.json")
@@ -311,13 +318,73 @@ def cmd_growth(args) -> int:
 
 
 def cmd_ablation(args) -> int:
+    from repro.obs import Obs
     from repro.scenarios.ablation import AblationConfig, run_ablation
 
-    result = run_ablation(AblationConfig(seed=args.seed, days=args.days))
+    obs = Obs.collecting() if getattr(args, "obs", False) else None
+    args.obs_bundle = obs
+    result = run_ablation(AblationConfig(seed=args.seed, days=args.days), obs=obs)
     print(result.locality.summary())
     print(result.coopt.summary())
     print(f"queue speedup: {result.queue_speedup:.2f}x  "
           f"balance gain: {result.balance_gain:+.0%}")
+    return 0
+
+
+def cmd_coopt(args) -> int:
+    """Run the closed co-optimization loop (one policy, or the sweep).
+
+    ``--sweep`` walks the registered policy ladder across the given
+    degradation severities and prints the delta table; otherwise a
+    single policy runs once and its summary is printed.  With
+    ``--obs``, control-loop spans and per-decision counters are
+    collected and (when ``--out`` is given) written to
+    ``<out>/metrics.json`` next to the sweep rows.
+    """
+    import os
+
+    from repro.obs import Obs
+    from repro.scenarios.coopt import CoOptConfig, run_policy, run_sweep
+
+    obs = Obs.collecting() if getattr(args, "obs", False) else None
+    args.obs_bundle = obs
+    severities = [float(s) for s in args.severities.split(",") if s.strip()]
+    cfg = CoOptConfig(
+        seed=args.seed,
+        days=args.days,
+        epoch_hours=args.epoch_hours,
+        severities=severities,
+    )
+    payload: dict
+    if args.sweep:
+        print(
+            f"sweeping {len(list(cfg.policies))} policies x "
+            f"{len(severities)} severities ({args.days:g} days, seed {args.seed}) ...",
+            file=sys.stderr,
+        )
+        sweep = run_sweep(cfg, obs=obs)
+        print(sweep.table())
+        payload = {"config": {"seed": cfg.seed, "days": cfg.days,
+                              "epoch_hours": cfg.epoch_hours,
+                              "severities": severities},
+                   "rows": sweep.rows()}
+    else:
+        result = run_policy(cfg, args.policy, severities[0], obs=obs)
+        print(result.summary())
+        payload = {"config": {"seed": cfg.seed, "days": cfg.days,
+                              "epoch_hours": cfg.epoch_hours,
+                              "severity": severities[0]},
+                   "rows": [result.row()]}
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        to_json_file(os.path.join(args.out, "coopt.json"), payload)
+        print(f"wrote sweep rows to {args.out}/coopt.json", file=sys.stderr)
+        if obs is not None:
+            from repro.reporting import write_metrics_json
+
+            metrics_path = os.path.join(args.out, "metrics.json")
+            write_metrics_json(metrics_path, obs)
+            print(f"wrote decision counters to {metrics_path}", file=sys.stderr)
     return 0
 
 
@@ -516,6 +583,30 @@ def build_parser() -> argparse.ArgumentParser:
                            help="allowed event-time disorder in seconds "
                                 "before a job window closes")
         p.set_defaults(fn=fn)
+
+    co = sub.add_parser(
+        "coopt",
+        help="run the closed co-optimization control loop — one policy, "
+             "or the full ladder x severity sweep with --sweep")
+    co.add_argument("--sweep", action="store_true",
+                    help="run every registered policy across --severities "
+                         "and print the baseline-delta table")
+    co.add_argument("--policy", default="full",
+                    help="policy to run without --sweep (default %(default)s)")
+    co.add_argument("--days", type=float, default=0.5,
+                    help="campaign length in days (default %(default)s)")
+    co.add_argument("--seed", type=int, default=11, help="root random seed")
+    co.add_argument("--epoch-hours", type=float, default=2.0, metavar="HOURS",
+                    help="control-loop decision epoch (default %(default)s)")
+    co.add_argument("--severities", default="1.0",
+                    help="comma-separated degradation severities "
+                         "(default %(default)s)")
+    co.add_argument("--obs", action="store_true",
+                    help="collect control-loop spans and decision counters")
+    co.add_argument("--out", default="",
+                    help="directory for coopt.json (+ metrics.json with "
+                         "--obs); empty = don't write")
+    co.set_defaults(fn=cmd_coopt)
 
     pr = sub.add_parser(
         "profile",

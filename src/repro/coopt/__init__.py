@@ -3,24 +3,59 @@
 The paper concludes that "future efforts should focus on … developing
 adaptive strategies where PanDA and Rucio share performance awareness
 to jointly balance load and data locality".  This package implements
-that direction so it can be ablated against the production heuristic:
+that direction as a *closed* loop so it can be ablated against the
+production heuristic:
 
-* :mod:`awareness` — the shared performance state: per-site queue
-  pressure, observed link throughput, failure rates;
+* :mod:`state` — versioned awareness snapshots (SoA arrays) and the
+  vectorized scoring kernels, shared by the incremental folds and the
+  batch builder so both provably produce identical state;
+* :mod:`awareness` — the shared performance model: per-site queue
+  pressure, observed link throughput, failure rates — updated live
+  and refreshed wholesale from stream-fold snapshots;
 * :mod:`broker2` — a brokerage that minimises *estimated completion
   time* (queue wait + staging time + failure risk) instead of blindly
   following data locality;
-* :mod:`policies` — operational mitigations: redundant-transfer
-  suppression and staging-timeout re-brokerage advice.
+* :mod:`policies` — the policy registry and ladder, plus operational
+  mitigations: redundant-transfer suppression and staging-timeout
+  re-brokerage advice;
+* :mod:`loop` — the control loop itself: runs the simulation with a
+  live telemetry tap, periodically folds matched analysis into a new
+  awareness generation, and feeds decisions back mid-run.
 """
 
 from repro.coopt.awareness import PerformanceAwareness
 from repro.coopt.broker2 import CoOptimizedBroker
-from repro.coopt.policies import TransferDeduplicator, MitigationAdvice, advise
+from repro.coopt.loop import ControlLoop, ControlLoopResult, DecisionRecord
+from repro.coopt.policies import (
+    POLICY_LADDER,
+    MitigationAdvice,
+    PolicySpec,
+    TransferDeduplicator,
+    advise,
+    get_policy,
+    policy_names,
+    register_policy,
+)
+from repro.coopt.state import (
+    AwarenessSnapshot,
+    snapshot_from_result,
+    snapshot_from_rows,
+)
 
 __all__ = [
     "PerformanceAwareness",
     "CoOptimizedBroker",
+    "ControlLoop",
+    "ControlLoopResult",
+    "DecisionRecord",
+    "AwarenessSnapshot",
+    "snapshot_from_result",
+    "snapshot_from_rows",
+    "PolicySpec",
+    "POLICY_LADDER",
+    "register_policy",
+    "get_policy",
+    "policy_names",
     "TransferDeduplicator",
     "MitigationAdvice",
     "advise",

@@ -6,15 +6,35 @@ guide both data placement and job allocation decisions in real time."
 This class is that information bus: both PanDA (brokerage) and Rucio
 (source selection, policies) read the same live estimates.
 
-All estimators are exponentially weighted moving averages so the state
-is O(sites + links) and updates are O(1) per event.
+State is structure-of-arrays indexed by topology site order (one float
+per site, one ``n × n`` matrix per link quantity), so the broker's
+candidate scoring is a handful of vectorized kernel calls
+(:mod:`repro.coopt.state`) instead of per-site dict probes.  Two feeds
+update it:
+
+* **ground-truth sinks** — :meth:`on_transfer` / :meth:`on_job_done`
+  EWMA updates, O(1) per event (the original static-sketch wiring,
+  still used by tests and the legacy ablation path);
+* **fold snapshots** — :meth:`absorb` installs a generation-keyed
+  :class:`~repro.coopt.state.AwarenessSnapshot` cut from the streaming
+  matcher's awareness folds as the historical layer, which is how the
+  closed control loop (:mod:`repro.coopt.loop`) learns from *matched
+  telemetry* rather than from ground truth it would not have.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
+import numpy as np
+
+from repro.coopt.state import (
+    DEFAULT_FAILURE_RATE,
+    MIN_STAGING_THROUGHPUT,
+    AwarenessSnapshot,
+    queue_wait_kernel,
+)
 from repro.grid.topology import GridTopology
 from repro.panda.job import Job
 from repro.rucio.transfer import TransferEvent
@@ -41,64 +61,158 @@ class PerformanceAwareness:
 
     def __init__(self, topology: GridTopology, alpha: float = 0.2) -> None:
         self.topology = topology
-        self.alpha = alpha
-        #: observed per-transfer throughput per directed site pair (bytes/s)
-        self._link_throughput: Dict[Tuple[str, str], EwmaEstimate] = {}
-        #: observed queuing time per site (seconds)
-        self._site_queue: Dict[str, EwmaEstimate] = {}
+        self.alpha = float(alpha)
+        self.site_names = tuple(topology.site_names())
+        self._index = {name: i for i, name in enumerate(self.site_names)}
+        n = len(self.site_names)
+        #: observed queuing time per site (EWMA value / sample count)
+        self._queue_value = np.full(n, np.nan)
+        self._queue_n = np.zeros(n, dtype=np.int64)
         #: observed failure indicator per site (0/1 EWMA = rate)
-        self._site_failure: Dict[str, EwmaEstimate] = {}
+        self._fail_value = np.full(n, np.nan)
+        self._fail_n = np.zeros(n, dtype=np.int64)
         #: ready-but-not-running backlog per site, maintained by callers
-        self._site_backlog: Dict[str, int] = {}
+        self._backlog = np.zeros(n, dtype=np.int64)
+        #: observed per-transfer throughput per directed site pair (bytes/s)
+        self._link_value = np.full((n, n), np.nan)
+        self._link_n = np.zeros((n, n), dtype=np.int64)
+        #: lazily filled topology prior: nominal bandwidth × 0.5
+        self._link_prior = np.full((n, n), np.nan)
+        #: version of the last absorbed fold snapshot (0 = none yet)
+        self.generation = 0
+        #: simulation time the last snapshot was cut at
+        self.as_of = 0.0
+
+    # -- index helpers -----------------------------------------------------------
+
+    def site_index(self, name: str) -> Optional[int]:
+        return self._index.get(name)
+
+    def _ewma(self, value: np.ndarray, count: np.ndarray, idx, x: float) -> None:
+        if count[idx] == 0:
+            value[idx] = x
+        else:
+            value[idx] = (1 - self.alpha) * value[idx] + self.alpha * x
+        count[idx] += 1
 
     # -- event sinks -------------------------------------------------------------
 
     def on_transfer(self, event: TransferEvent) -> None:
         if not event.success or event.duration <= 0:
             return
-        key = (event.source_site, event.destination_site)
-        est = self._link_throughput.setdefault(key, EwmaEstimate(self.alpha))
-        est.update(event.throughput)
+        i = self._index.get(event.source_site)
+        j = self._index.get(event.destination_site)
+        if i is None or j is None:
+            return
+        self._ewma(self._link_value, self._link_n, (i, j), event.throughput)
 
     def on_job_done(self, job: Job) -> None:
-        site = job.computing_site
-        if not site:
+        i = self._index.get(job.computing_site) if job.computing_site else None
+        if i is None:
             return
         q = job.queuing_time
         if q is not None:
-            self._site_queue.setdefault(site, EwmaEstimate(self.alpha)).update(q)
-        self._site_failure.setdefault(site, EwmaEstimate(self.alpha)).update(
-            0.0 if job.succeeded else 1.0
-        )
+            self._ewma(self._queue_value, self._queue_n, i, q)
+        self._ewma(self._fail_value, self._fail_n, i, 0.0 if job.succeeded else 1.0)
 
     def note_backlog(self, site: str, delta: int) -> None:
-        self._site_backlog[site] = max(0, self._site_backlog.get(site, 0) + delta)
+        i = self._index.get(site)
+        if i is None:
+            return
+        self._backlog[i] = max(0, int(self._backlog[i]) + int(delta))
 
-    # -- estimates -----------------------------------------------------------------
+    # -- fold snapshots ----------------------------------------------------------
+
+    def absorb(self, snapshot: AwarenessSnapshot) -> None:
+        """Install a fold snapshot as the historical layer.
+
+        Observed cells (count > 0) replace the per-site/per-link history
+        wholesale — the snapshot *is* the accumulated matched evidence,
+        so EWMA-blending it with itself each epoch would double-count.
+        Unobserved cells keep whatever the live sinks have learned.
+        Backlog is untouched: it is live PanDA queue state, not
+        telemetry.
+        """
+        if snapshot.site_names != self.site_names:
+            raise ValueError("snapshot site order does not match topology")
+        qmask = snapshot.n_jobs > 0
+        wmask = qmask & ~np.isnan(snapshot.queue_wait)
+        self._queue_value[wmask] = snapshot.queue_wait[wmask]
+        self._queue_n[wmask] = snapshot.n_jobs[wmask]
+        self._fail_value[qmask] = snapshot.failure_rate[qmask]
+        self._fail_n[qmask] = snapshot.n_jobs[qmask]
+        lmask = snapshot.link_count > 0
+        self._link_value[lmask] = snapshot.link_throughput[lmask]
+        self._link_n[lmask] = snapshot.link_count[lmask]
+        self.generation = snapshot.generation
+        self.as_of = snapshot.as_of
+
+    # -- vectorized accessors ------------------------------------------------------
+
+    def queue_wait_vector(self, idx: np.ndarray) -> np.ndarray:
+        """Expected queue wait for the given site indices."""
+        running = np.array(
+            [self.topology.site(self.site_names[i]).running_jobs for i in idx],
+            dtype=np.float64,
+        )
+        slots = np.array(
+            [self.topology.site(self.site_names[i]).compute_slots for i in idx],
+            dtype=np.float64,
+        )
+        return queue_wait_kernel(
+            self._queue_value[idx],
+            self._queue_n[idx],
+            self._backlog[idx].astype(np.float64),
+            running,
+            slots,
+        )
+
+    def failure_vector(self, idx: np.ndarray) -> np.ndarray:
+        return np.where(
+            self._fail_n[idx] > 0, self._fail_value[idx], DEFAULT_FAILURE_RATE
+        )
+
+    def link_matrix(self, src_idx: Sequence[int], dst_idx: Sequence[int]) -> np.ndarray:
+        """Throughput estimates for every (source, destination) pair.
+
+        Returns a ``(len(src_idx), len(dst_idx))`` array; cells without
+        observed history fall back to the topology prior (nominal
+        bandwidth × 0.5), filled lazily and cached.
+        """
+        src = np.asarray(src_idx, dtype=np.int64)
+        dst = np.asarray(dst_idx, dtype=np.int64)
+        network = self.topology.network
+        assert network is not None
+        for i in src:
+            for j in dst:
+                if np.isnan(self._link_prior[i, j]):
+                    self._link_prior[i, j] = (
+                        network.profile(
+                            self.site_names[i], self.site_names[j]
+                        ).nominal_bandwidth
+                        * 0.5
+                    )
+        observed = self._link_value[np.ix_(src, dst)]
+        counts = self._link_n[np.ix_(src, dst)]
+        return np.where(counts > 0, observed, self._link_prior[np.ix_(src, dst)])
+
+    # -- scalar estimates (original static-sketch API) ----------------------------
 
     def link_throughput(self, src: str, dst: str) -> float:
         """Expected per-transfer throughput, with a topology-based prior."""
-        est = self._link_throughput.get((src, dst))
-        network = self.topology.network
-        assert network is not None
-        prior = network.profile(src, dst).nominal_bandwidth * 0.5
-        return est.get(prior) if est else prior
+        i, j = self._index[src], self._index[dst]
+        return float(self.link_matrix([i], [j])[0, 0])
 
     def expected_queue_wait(self, site_name: str) -> float:
         """Expected queue wait from occupancy, backlog, and history."""
-        site = self.topology.site(site_name)
-        est = self._site_queue.get(site_name)
-        historical = est.get(120.0) if est else 120.0
-        # Pressure term: backlog plus occupancy relative to capacity.
-        backlog = self._site_backlog.get(site_name, 0)
-        pressure = (site.running_jobs + backlog) / max(1, site.compute_slots)
-        return historical * (0.5 + pressure)
+        i = self._index[site_name]
+        return float(self.queue_wait_vector(np.array([i], dtype=np.int64))[0])
 
     def failure_rate(self, site_name: str) -> float:
-        est = self._site_failure.get(site_name)
-        return est.get(0.1) if est else 0.1
+        i = self._index[site_name]
+        return float(self.failure_vector(np.array([i], dtype=np.int64))[0])
 
     def estimate_staging_seconds(self, src: str, dst: str, nbytes: float) -> float:
         if nbytes <= 0:
             return 0.0
-        return nbytes / max(64_000.0, self.link_throughput(src, dst))
+        return nbytes / max(MIN_STAGING_THROUGHPUT, self.link_throughput(src, dst))

@@ -14,7 +14,10 @@ This broker acts on that: for each candidate site it estimates
                + failure_penalty(site)
 
 and picks the minimum, considering data-holding sites *and* the least
-loaded alternatives.
+loaded alternatives.  Scoring runs on the awareness SoA arrays — one
+:func:`~repro.coopt.state.queue_wait_kernel` call over all candidates,
+one :meth:`~repro.coopt.awareness.PerformanceAwareness.link_matrix`
+gather per missing file — instead of per-site scalar probes.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.coopt.awareness import PerformanceAwareness
+from repro.coopt.state import completion_kernel, staging_kernel
 from repro.grid.topology import GridTopology
 from repro.panda.brokerage import BrokerDecision
 from repro.panda.job import DataAccessMode, Job, JobKind
@@ -51,29 +55,51 @@ class CoOptimizedBroker:
 
     # -- scoring -------------------------------------------------------------
 
+    def score_sites(self, job: Job, site_names: List[str]) -> np.ndarray:
+        """Vectorized completion scores (seconds, lower = better)."""
+        aw = self.awareness
+        idx = np.array([aw.site_index(s) for s in site_names], dtype=np.int64)
+        wait = aw.queue_wait_vector(idx)
+        staging = np.zeros(len(site_names), dtype=np.float64)
+        if job.input_dataset is not None and job.input_file_dids:
+            has_file = np.array(
+                [
+                    [
+                        self.rucio.replicas.has_available_at_site(fd, s)
+                        for s in site_names
+                    ]
+                    for fd in job.input_file_dids
+                ],
+                dtype=bool,
+            )
+            for fi, fd in enumerate(job.input_file_dids):
+                if bool(has_file[fi].all()):
+                    continue
+                f = self.rucio.catalog.file(fd)
+                sources = sorted(self.rucio.replicas.sites_with_file(fd))
+                src_idx = [
+                    aw.site_index(s) for s in sources if aw.site_index(s) is not None
+                ]
+                if src_idx:
+                    # (n_sources, n_candidates) staging estimate; best
+                    # source per candidate, zero where already local.
+                    thpt = aw.link_matrix(src_idx, idx)
+                    per_cand = staging_kernel(float(f.size), thpt).min(axis=0)
+                else:
+                    per_cand = np.full(len(site_names), 3600.0)  # nothing placed yet
+                staging += np.where(has_file[fi], 0.0, per_cand)
+        return completion_kernel(
+            wait,
+            staging,
+            aw._fail_value[idx],
+            aw._fail_n[idx],
+            self.failure_penalty_seconds,
+        )
+
     def estimated_completion(self, job: Job, site_name: str) -> float:
         """Expected seconds until the job could finish staging+queueing
         at the site (payload time is site-independent here)."""
-        wait = self.awareness.expected_queue_wait(site_name)
-        staging = 0.0
-        if job.input_dataset is not None and job.input_file_dids:
-            files = [self.rucio.catalog.file(fd) for fd in job.input_file_dids]
-            missing = [
-                f for f in files
-                if not self.rucio.replicas.has_available_at_site(f.did, site_name)
-            ]
-            for f in missing:
-                sources = self.rucio.replicas.sites_with_file(f.did)
-                if sources:
-                    best = min(
-                        self.awareness.estimate_staging_seconds(s, site_name, f.size)
-                        for s in sources
-                    )
-                    staging += best
-                else:
-                    staging += 3600.0  # nothing available yet: strong penalty
-        risk = self.awareness.failure_rate(site_name) * self.failure_penalty_seconds
-        return wait + staging + risk
+        return float(self.score_sites(job, [site_name])[0])
 
     def _candidates(self, job: Job) -> List[str]:
         """Data-holding sites plus the least-pressured alternatives.
@@ -98,12 +124,14 @@ class CoOptimizedBroker:
         if must_be_local and out:
             return out
         compute = self.topology.compute_sites()
-        by_pressure = sorted(
-            compute, key=lambda s: self.awareness.expected_queue_wait(s.name)
+        idx = np.array(
+            [self.awareness.site_index(s.name) for s in compute], dtype=np.int64
         )
-        for s in by_pressure[: self.n_alternatives]:
-            if s.name not in out:
-                out.append(s.name)
+        waits = self.awareness.queue_wait_vector(idx)
+        order = sorted(range(len(compute)), key=lambda i: (waits[i], compute[i].name))
+        for i in order[: self.n_alternatives]:
+            if compute[i].name not in out:
+                out.append(compute[i].name)
         return out
 
     def assign(self, job: Job, now: float) -> BrokerDecision:
@@ -112,9 +140,8 @@ class CoOptimizedBroker:
             compute = self.topology.compute_sites()
             pick = compute[int(self.rng.integers(len(compute)))].name
             return BrokerDecision(pick, False, 0.0, "coopt:fallback")
-        scored = [(self.estimated_completion(job, s), s) for s in candidates]
-        scored.sort()
-        best_site = scored[0][1]
+        scores = self.score_sites(job, candidates)
+        best_site = min(zip(scores.tolist(), candidates))[1]
         self.awareness.note_backlog(best_site, +1)
         data_local = (
             job.input_dataset is not None
@@ -124,5 +151,5 @@ class CoOptimizedBroker:
             site_name=best_site,
             data_local=bool(data_local),
             locality_fraction=1.0 if data_local else 0.0,
-            reason="coopt:min-completion",
+            reason=f"coopt:min-completion@g{self.awareness.generation}",
         )

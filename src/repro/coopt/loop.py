@@ -1,0 +1,494 @@
+"""The closed co-optimization control loop (digital twin).
+
+Kilic et al.'s introspective-model architecture — observe, model,
+steer, re-observe — realised over this repo's dataplane:
+
+* **observe** — the simulation harness runs with a live
+  :class:`~repro.stream.StreamingCollector` tap whose degrader applies
+  the run's *real* degradation config, so the loop sees telemetry of
+  production quality, not ground truth;
+* **model** — each decision epoch drains the new events through a
+  :class:`~repro.stream.StreamProcessor`, cuts a generation-keyed
+  :class:`~repro.coopt.state.AwarenessSnapshot` from the awareness
+  folds, and absorbs it into the shared
+  :class:`~repro.coopt.awareness.PerformanceAwareness`;
+* **steer** — mid-simulation interventions gated by the active
+  :class:`~repro.coopt.policies.PolicySpec`: awareness-driven
+  brokerage, redundant-transfer suppression, per-epoch re-brokerage of
+  queued-too-long jobs, and replication (pre-staging) hints;
+* **re-observe** — steered behaviour lands back in the telemetry the
+  next epoch processes, closing the loop.
+
+Determinism: every stochastic policy choice draws from the harness's
+``repro.rng`` registry under the name ``coopt.epoch.<n>`` — keyed by
+(seed, epoch), independent of call order — so two runs at the same
+seed produce identical decision logs (regression-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.coopt.awareness import PerformanceAwareness
+from repro.coopt.broker2 import CoOptimizedBroker
+from repro.coopt.policies import PolicySpec, TransferDeduplicator, get_policy
+from repro.coopt.state import AwarenessSnapshot, snapshot_from_rows
+from repro.obs import Obs, get_obs, use_obs
+from repro.panda.brokerage import BrokerDecision
+from repro.panda.job import Job, JobKind, JobStatus
+from repro.rng import RngRegistry
+from repro.scenarios.runtime import HarnessConfig, SimulationHarness
+from repro.stream import FoldSet, StreamProcessor, StreamingCollector
+from repro.telemetry.degradation import MetadataDegrader
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One steering decision, as logged (and regression-compared)."""
+
+    epoch: int
+    time: float
+    kind: str  # "rebroker" | "prestage"
+    subject: str  # pandaid or dataset DID
+    detail: str  # "SRC->DST" site movement
+    generation: int  # awareness generation the decision was keyed on
+
+
+@dataclass
+class ControlLoopResult:
+    """End-of-run metrics for one policy under one seeded campaign."""
+
+    policy: str
+    seed: int
+    n_epochs: int
+    n_jobs: int
+    success_rate: float
+    makespan: float  # latest job end time (seconds into the run)
+    transfer_volume: float  # ground-truth bytes moved (all attempts)
+    n_transfer_events: int
+    queue_mean: float
+    queue_p95: float
+    remote_bytes: float
+    local_bytes: float
+    load_imbalance: float  # std of per-site job shares
+    retries: int
+    failures: int
+    suppressed: int
+    suppressed_bytes: int
+    rebrokered: int
+    prestaged: int
+    final_generation: int
+    mean_staleness: float  # mean awareness age at decision time
+    decisions: List[DecisionRecord] = field(default_factory=list)
+
+    def row(self) -> Dict[str, object]:
+        """Flat JSON-friendly view (decision log elided)."""
+        return {
+            "policy": self.policy,
+            "seed": self.seed,
+            "n_epochs": self.n_epochs,
+            "jobs": self.n_jobs,
+            "success_rate": round(self.success_rate, 4),
+            "makespan_s": round(self.makespan, 1),
+            "transfer_TB": round(self.transfer_volume / 1e12, 4),
+            "n_transfers": self.n_transfer_events,
+            "queue_mean_s": round(self.queue_mean, 1),
+            "queue_p95_s": round(self.queue_p95, 1),
+            "remote_TB": round(self.remote_bytes / 1e12, 4),
+            "load_imbalance": round(self.load_imbalance, 4),
+            "retries": self.retries,
+            "failures": self.failures,
+            "suppressed": self.suppressed,
+            "suppressed_GB": round(self.suppressed_bytes / 1e9, 3),
+            "rebrokered": self.rebrokered,
+            "prestaged": self.prestaged,
+            "generations": self.final_generation,
+            "mean_staleness_s": round(self.mean_staleness, 1),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy}: {self.n_jobs} jobs, success {self.success_rate:.1%}, "
+            f"makespan {self.makespan / 3600:.1f}h, moved {self.transfer_volume / 1e12:.2f} TB, "
+            f"queue p95 {self.queue_p95:.0f}s, re-brokered {self.rebrokered}, "
+            f"suppressed {self.suppressed} ({self.suppressed_bytes / 1e9:.1f} GB), "
+            f"pre-staged {self.prestaged}"
+        )
+
+
+class ControlLoop:
+    """Run one campaign with the co-optimization loop in it.
+
+    ``policy`` names a registered :class:`PolicySpec`.  Even the
+    ``baseline`` policy runs the full observe/model half (stream
+    processing, fold snapshots, awareness absorption) so every ladder
+    rung pays the same observation cost and differs only in steering.
+    """
+
+    def __init__(
+        self,
+        config: HarnessConfig,
+        policy: Union[str, PolicySpec] = "full",
+        *,
+        epoch_seconds: float = 4 * 3600.0,
+        method: str = "rm2",
+        rebroker_max_per_epoch: int = 8,
+        rebroker_wait_threshold: float = 1800.0,
+        rebroker_gain: float = 1.5,
+        prestage_max_per_epoch: int = 2,
+        prestage_min_demand: int = 3,
+        prestage_lifetime: float = 2 * 86400.0,
+        prestage_band: float = 1.1,
+        dedup_ttl: float = 6 * 3600.0,
+        obs: Optional[Obs] = None,
+    ) -> None:
+        self.config = config
+        self.policy = get_policy(policy) if isinstance(policy, str) else policy
+        self.epoch_seconds = float(epoch_seconds)
+        self.method = method
+        self.rebroker_max_per_epoch = int(rebroker_max_per_epoch)
+        self.rebroker_wait_threshold = float(rebroker_wait_threshold)
+        self.rebroker_gain = float(rebroker_gain)
+        self.prestage_max_per_epoch = int(prestage_max_per_epoch)
+        self.prestage_min_demand = int(prestage_min_demand)
+        self.prestage_lifetime = float(prestage_lifetime)
+        self.prestage_band = float(prestage_band)
+        self.obs = obs
+
+        # The live tap degrades with the run's real config, on its own
+        # named stream (a fresh registry with the harness seed derives
+        # the identical generator the harness registry would — streams
+        # are keyed by (seed, name), not creation order).
+        degrader = MetadataDegrader(
+            config.degradation, RngRegistry(config.seed).get("coopt-live-degradation")
+        )
+        self.harness = SimulationHarness(
+            config,
+            collector_factory=lambda catalog: StreamingCollector(
+                catalog, degrader=degrader
+            ),
+        )
+        self.horizon = config.workload.duration + config.drain
+        self.processor = StreamProcessor(
+            0.0,
+            self.horizon,
+            known_sites=self.harness.known_site_names(),
+            folds=FoldSet.with_awareness(method),
+        )
+        self.awareness = PerformanceAwareness(self.harness.topology)
+        self.broker = CoOptimizedBroker(
+            self.harness.topology,
+            self.harness.rucio,
+            self.awareness,
+            self.harness.rngs.get("coopt"),
+        )
+        if self.policy.aware_broker:
+            self.harness.panda.broker = self.broker
+            self.harness.panda.on_job_done(
+                lambda j: self.awareness.note_backlog(j.computing_site, -1)
+            )
+        self.dedup = TransferDeduplicator(ttl_seconds=dedup_ttl)
+        if self.policy.dedup:
+            self._wire_dedup()
+
+        self.decisions: List[DecisionRecord] = []
+        self.snapshots: List[AwarenessSnapshot] = []
+        self._staleness: List[float] = []
+        self._cursor = 0
+        self._epoch = 0
+        self._prestaged: set = set()
+        self._ran = False
+        self._result: Optional[ControlLoopResult] = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def _wire_dedup(self) -> None:
+        """Filter redundant ephemeral downloads out of FTS submissions.
+
+        Instance-level wrap of ``submit_group`` (``submit`` routes
+        through it), restricted to ephemeral job downloads: scratch
+        copies register no replica, so suppressing a repeat within the
+        TTL skips real movement without corrupting placement state —
+        the Fig 12 "in principle avoidable" redundancy.
+        """
+        fts = self.harness.fts
+        topology = self.harness.topology
+        original = fts.submit_group
+
+        def filtered(requests, parallelism, on_complete=None):
+            kept = []
+            for req in requests:
+                if req.ephemeral and req.activity.is_download:
+                    dest_site = topology.rse(req.dest_rse).site_name
+                    if not self.dedup.should_transfer(
+                        req, dest_site, self.harness.engine.now
+                    ):
+                        continue
+                kept.append(req)
+            return original(kept, parallelism, on_complete)
+
+        fts.submit_group = filtered
+
+    # -- epoch body -------------------------------------------------------------
+
+    def _schedule_next(self) -> None:
+        if self.harness.engine.now + self.epoch_seconds <= self.horizon:
+            self.harness.engine.schedule_in(
+                self.epoch_seconds, self._tick, label="coopt.epoch"
+            )
+
+    def _drain_stream(self) -> None:
+        events = self.harness.collector.log.events[self._cursor:]
+        self._cursor += len(events)
+        self.processor.process(events)
+
+    def _cut_snapshot(self, now: float) -> AwarenessSnapshot:
+        folds = self.processor.folds
+        snap = snapshot_from_rows(
+            folds["site_awareness"].rows(),
+            folds["link_awareness"].rows(),
+            self.awareness.site_names,
+            generation=len(self.snapshots) + 1,
+            as_of=now,
+            watermark=self.processor.tracker.watermark,
+        )
+        self.snapshots.append(snap)
+        self.awareness.absorb(snap)
+        return snap
+
+    def _tick(self) -> None:
+        epoch = self._epoch
+        self._epoch += 1
+        obs = get_obs()
+        now = self.harness.engine.now
+        with obs.tracer.span("coopt.epoch", cat="coopt") as sp:
+            staleness = now - self.awareness.as_of
+            self._staleness.append(staleness)
+            self._drain_stream()
+            snap = self._cut_snapshot(now)
+            rng = self.harness.rngs.get(f"coopt.epoch.{epoch}")
+            suppressed_before = self.dedup.suppressed
+            n_re = self._rebroker_pass(epoch, now) if self.policy.rebroker else 0
+            n_pre = (
+                self._prestage_pass(epoch, now, rng) if self.policy.prestage else 0
+            )
+            if self.policy.dedup:
+                self.dedup.expire(now)
+            if obs.enabled:
+                obs.metrics.gauge("coopt.awareness_staleness").set(staleness)
+                obs.metrics.gauge("coopt.awareness_generation").set(snap.generation)
+                obs.metrics.counter("coopt.decisions", kind="rebroker").inc(n_re)
+                obs.metrics.counter("coopt.decisions", kind="prestage").inc(n_pre)
+                obs.metrics.counter("coopt.decisions", kind="suppress").inc(
+                    self.dedup.suppressed - suppressed_before
+                )
+            sp.set("epoch", epoch)
+            sp.set("generation", snap.generation)
+            sp.set("rebrokered", n_re)
+            sp.set("prestaged", n_pre)
+        self._schedule_next()
+
+    # -- steering ----------------------------------------------------------------
+
+    def _rebroker_pass(self, epoch: int, now: float) -> int:
+        """Move queued-too-long ready jobs to better-scoring sites."""
+        aw = self.awareness
+        panda = self.harness.panda
+        budget = self.rebroker_max_per_epoch
+        moved = 0
+        names = sorted(panda.harvesters)
+        order = sorted(names, key=lambda s: (-aw.expected_queue_wait(s), s))
+        for site in order:
+            harvester = panda.harvesters[site]
+            while budget > 0:
+                if harvester.ready_backlog <= 1:
+                    break
+                if aw.expected_queue_wait(site) < self.rebroker_wait_threshold:
+                    break
+                job = harvester.steal_ready()
+                if job is None:
+                    break
+                aw.note_backlog(site, -1)
+                decision = self._propose_move(job, site)
+                if decision is None:
+                    aw.note_backlog(site, +1)
+                    harvester.readopt(job)
+                    break
+                panda.rebroker(job, decision)
+                self.decisions.append(
+                    DecisionRecord(
+                        epoch=epoch,
+                        time=now,
+                        kind="rebroker",
+                        subject=str(job.pandaid),
+                        detail=f"{site}->{decision.site_name}",
+                        generation=aw.generation,
+                    )
+                )
+                moved += 1
+                budget -= 1
+            if budget == 0:
+                break
+        return moved
+
+    def _propose_move(self, job: Job, current_site: str) -> Optional[BrokerDecision]:
+        """A strictly-better placement for a ready job, or None.
+
+        The move must beat staying by ``rebroker_gain`` — re-staging
+        cost is already priced into the score, so the margin guards
+        against churn on estimate noise, not against transfer cost.
+        """
+        broker = self.broker
+        candidates = broker._candidates(job)
+        if current_site not in candidates:
+            candidates.append(current_site)
+        scores = broker.score_sites(job, candidates)
+        pairs = list(zip(scores.tolist(), candidates))
+        best_score, best_site = min(pairs)
+        here = dict((site, score) for score, site in pairs)[current_site]
+        if best_site == current_site or here < self.rebroker_gain * max(best_score, 1e-9):
+            return None
+        self.awareness.note_backlog(best_site, +1)
+        data_local = (
+            job.input_dataset is not None
+            and best_site in self.harness.rucio.dataset_locations(job.input_dataset)
+        )
+        return BrokerDecision(
+            site_name=best_site,
+            data_local=bool(data_local),
+            locality_fraction=1.0 if data_local else 0.0,
+            reason=f"coopt:rebroker@g{self.awareness.generation}",
+        )
+
+    def _prestage_pass(self, epoch: int, now: float, rng: np.random.Generator) -> int:
+        """Pin in-demand datasets at unloaded sites (replication hints).
+
+        Demand = analysis jobs not yet running that want the dataset.
+        The target is drawn uniformly from the band of candidate sites
+        within ``prestage_band`` of the lowest expected wait — the
+        epoch-keyed randomness that stops every loop instance herding
+        onto one site.
+        """
+        aw = self.awareness
+        panda = self.harness.panda
+        demand: Dict[object, int] = {}
+        for job in panda.jobs.values():
+            if job.kind is not JobKind.ANALYSIS or job.input_dataset is None:
+                continue
+            if job.status in (JobStatus.DEFINED, JobStatus.ASSIGNED, JobStatus.READY):
+                demand[job.input_dataset] = demand.get(job.input_dataset, 0) + 1
+        ranked = sorted(demand.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        pinned = 0
+        for ds, count in ranked:
+            if pinned >= self.prestage_max_per_epoch or count < self.prestage_min_demand:
+                break
+            if ds in self._prestaged:
+                continue
+            locations = self.harness.rucio.dataset_locations(ds)
+            targets = [
+                s.name
+                for s in self.harness.topology.compute_sites()
+                if s.name not in locations
+            ]
+            if not targets:
+                self._prestaged.add(ds)
+                continue
+            idx = np.array([aw.site_index(s) for s in targets], dtype=np.int64)
+            waits = aw.queue_wait_vector(idx)
+            band_edge = float(waits.min()) * self.prestage_band
+            band = [t for t, w in zip(targets, waits.tolist()) if w <= band_edge]
+            target = band[int(rng.integers(len(band)))]
+            try:
+                self.harness.rules.pin_dataset_at_site(
+                    ds, target, now, lifetime=self.prestage_lifetime
+                )
+            except KeyError:
+                self._prestaged.add(ds)
+                continue
+            self._prestaged.add(ds)
+            self.decisions.append(
+                DecisionRecord(
+                    epoch=epoch,
+                    time=now,
+                    kind="prestage",
+                    subject=str(ds),
+                    detail=f"->{target}",
+                    generation=aw.generation,
+                )
+            )
+            pinned += 1
+        return pinned
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def run(self) -> ControlLoopResult:
+        if self._ran:
+            raise RuntimeError("control loop already ran")
+        self._ran = True
+        with use_obs(self.obs) as obs:
+            with obs.tracer.span("coopt.loop", cat="coopt") as sp:
+                sp.set("policy", self.policy.name)
+                self._schedule_next()
+                self.harness.run()
+                # Final flush: remaining events, then close every window.
+                self._drain_stream()
+                self.processor.finish()
+                self._cut_snapshot(self.harness.engine.now)
+                self._result = self._collect()
+                sp.set("epochs", self._epoch)
+        return self._result
+
+    @property
+    def result(self) -> ControlLoopResult:
+        if self._result is None:
+            raise RuntimeError("run() the loop before reading its result")
+        return self._result
+
+    def _collect(self) -> ControlLoopResult:
+        harness = self.harness
+        jobs = harness.panda.terminal_jobs()
+        queuing = np.array(
+            [j.queuing_time for j in jobs if j.queuing_time is not None]
+        )
+        remote = local = volume = 0.0
+        for ev in harness.collector.transfer_events:
+            volume += ev.file_size
+            if ev.source_site and ev.source_site == ev.destination_site:
+                local += ev.file_size
+            else:
+                remote += ev.file_size
+        per_site: Dict[str, int] = {}
+        for j in jobs:
+            per_site[j.computing_site] = per_site.get(j.computing_site, 0) + 1
+        shares = np.array(list(per_site.values()), dtype=float)
+        shares = shares / shares.sum() if shares.sum() else shares
+        ends = [j.end_time for j in jobs if j.end_time is not None]
+        return ControlLoopResult(
+            policy=self.policy.name,
+            seed=self.config.seed,
+            n_epochs=self._epoch,
+            n_jobs=len(jobs),
+            success_rate=harness.panda.success_fraction(),
+            makespan=float(max(ends)) if ends else 0.0,
+            transfer_volume=float(volume),
+            n_transfer_events=len(harness.collector.transfer_events),
+            queue_mean=float(queuing.mean()) if len(queuing) else 0.0,
+            queue_p95=float(np.percentile(queuing, 95)) if len(queuing) else 0.0,
+            remote_bytes=float(remote),
+            local_bytes=float(local),
+            load_imbalance=float(shares.std()) if len(shares) else 0.0,
+            retries=harness.panda.retries_issued,
+            failures=sum(1 for j in jobs if not j.succeeded),
+            suppressed=self.dedup.suppressed,
+            suppressed_bytes=self.dedup.suppressed_bytes,
+            rebrokered=sum(1 for d in self.decisions if d.kind == "rebroker"),
+            prestaged=sum(1 for d in self.decisions if d.kind == "prestage"),
+            final_generation=self.awareness.generation,
+            mean_staleness=(
+                float(np.mean(self._staleness)) if self._staleness else 0.0
+            ),
+            decisions=list(self.decisions),
+        )

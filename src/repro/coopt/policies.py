@@ -7,7 +7,11 @@ The concrete mitigations §5-§7 call for, in actionable form:
   redundancy, "in principle avoidable");
 * :func:`advise` — converts an anomaly report into prioritised
   mitigation advice (which sites need parallel stage-in, where
-  re-brokerage would have helped, how many bytes dedup would save).
+  re-brokerage would have helped, how many bytes dedup would save);
+* :class:`PolicySpec` + the registry — named combinations of the
+  control-loop interventions, forming the cumulative ablation ladder
+  (baseline → aware broker → +dedup → +rebrokerage → full loop) the
+  sweep driver (:mod:`repro.scenarios.coopt`) measures.
 """
 
 from __future__ import annotations
@@ -50,6 +54,93 @@ class TransferDeduplicator:
         for k in stale:
             del self._recent[k]
         return len(stale)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One named combination of control-loop interventions.
+
+    The flags gate what :class:`~repro.coopt.loop.ControlLoop` is
+    allowed to do; everything else (stream processing, fold snapshots,
+    awareness absorption) always runs, so even ``baseline`` exercises
+    the full observe path and only the *steer* half differs.
+    """
+
+    name: str
+    #: brokerage uses the awareness-driven CoOptimizedBroker
+    aware_broker: bool = False
+    #: suppress redundant ephemeral downloads (Fig 12 mitigation)
+    dedup: bool = False
+    #: move queued-too-long ready jobs to better sites each epoch
+    rebroker: bool = False
+    #: pin in-demand datasets at unloaded sites (replication hints)
+    prestage: bool = False
+    description: str = ""
+
+
+_POLICY_REGISTRY: Dict[str, PolicySpec] = {}
+
+
+def register_policy(spec: PolicySpec) -> PolicySpec:
+    """Register (or replace) a named policy; returns the spec."""
+    _POLICY_REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_policy(name: str) -> PolicySpec:
+    try:
+        return _POLICY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_POLICY_REGISTRY))
+        raise KeyError(f"unknown policy {name!r}; registered: {known}") from None
+
+
+def policy_names() -> List[str]:
+    """Registered policy names, in the cumulative-ladder order first."""
+    ladder = [p for p in POLICY_LADDER if p in _POLICY_REGISTRY]
+    extra = sorted(set(_POLICY_REGISTRY) - set(ladder))
+    return ladder + extra
+
+
+#: the cumulative ablation ladder the sweep bench measures
+POLICY_LADDER: Tuple[str, ...] = (
+    "baseline",
+    "aware",
+    "aware+dedup",
+    "aware+rebroker",
+    "full",
+)
+
+register_policy(PolicySpec(
+    "baseline",
+    description="production locality broker, observe-only control loop",
+))
+register_policy(PolicySpec(
+    "aware",
+    aware_broker=True,
+    description="completion-minimising broker over fold-fed awareness",
+))
+register_policy(PolicySpec(
+    "aware+dedup",
+    aware_broker=True,
+    dedup=True,
+    description="aware broker plus redundant-transfer suppression",
+))
+register_policy(PolicySpec(
+    "aware+rebroker",
+    aware_broker=True,
+    dedup=True,
+    rebroker=True,
+    description="aware broker, dedup, plus per-epoch re-brokerage",
+))
+register_policy(PolicySpec(
+    "full",
+    aware_broker=True,
+    dedup=True,
+    rebroker=True,
+    prestage=True,
+    description="the full closed loop including pre-staging hints",
+))
 
 
 @dataclass(frozen=True)

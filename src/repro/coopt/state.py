@@ -1,0 +1,258 @@
+"""Columnar awareness state: canonical rows, arrays, scoring kernels.
+
+The control loop's shared state lives here as structure-of-arrays
+indexed by :meth:`GridTopology.site_names` order, mirroring how the
+columnar dataplane stores everything else (DESIGN.md §7).  Two builders
+produce an :class:`AwarenessSnapshot`:
+
+* **incremental** — the stream awareness folds
+  (:class:`repro.stream.folds.SiteAwarenessFold` /
+  :class:`~repro.stream.folds.LinkAwarenessFold`) accumulate canonical
+  rows from :class:`~repro.stream.incremental.MatchDelta` emissions and
+  hand them to :func:`snapshot_from_rows`;
+* **batch** — :func:`snapshot_from_result` derives the same rows from
+  an accumulated :class:`~repro.core.matching.base.MatchResult`.
+
+Both paths emit rows in *job-sequence order* (the batch window's match
+order) and feed them through the same array builders, so equal row
+lists give **bit-identical** snapshots — the property the hypothesis
+parity suite checks byte-for-byte.  The row contracts:
+
+* site row: ``(computingsite, queuing_time | None, failed)`` — one per
+  matched job, in match order;
+* link row: ``(source_site, destination_site, throughput)`` — one per
+  matched transfer row the *first* claiming job saw, in (job, position)
+  order, skipping failed and zero-duration records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matching.base import JobMatch, MatchResult
+
+#: (computingsite, queuing seconds or None, failed flag)
+SiteRow = Tuple[str, Optional[float], bool]
+#: (source site, destination site, achieved bytes/s)
+LinkRow = Tuple[str, str, float]
+
+#: queue-wait prior (seconds) for sites with no observed history
+DEFAULT_QUEUE_WAIT = 120.0
+#: failure-rate prior for sites with no observed history
+DEFAULT_FAILURE_RATE = 0.1
+#: floor on assumed link throughput when estimating staging (bytes/s)
+MIN_STAGING_THROUGHPUT = 64_000.0
+#: assumed per-job service time (seconds) for the oversubscription term
+DEFAULT_SERVICE_TIME = 3600.0
+
+
+@dataclass(frozen=True)
+class AwarenessSnapshot:
+    """One versioned cut of fold-derived performance state.
+
+    ``generation`` increments per decision epoch; consumers key cached
+    decisions on it so stale awareness is detectable (DESIGN.md §13).
+    Arrays follow ``site_names`` order; NaN marks *unobserved* cells
+    (no matched evidence yet), distinct from an observed zero.
+    """
+
+    generation: int
+    as_of: float
+    watermark: float
+    site_names: Tuple[str, ...]
+    queue_wait: np.ndarray  # (n,) mean matched queuing seconds, NaN unobserved
+    failure_rate: np.ndarray  # (n,) matched failure share, NaN unobserved
+    n_jobs: np.ndarray  # (n,) int64 matched jobs per site
+    link_throughput: np.ndarray  # (n, n) mean bytes/s, NaN unobserved
+    link_count: np.ndarray  # (n, n) int64 matched transfers per link
+
+    def bit_identical(self, other: "AwarenessSnapshot") -> bool:
+        """Byte-level equality of every array (NaN-safe, unlike ``==``)."""
+        return (
+            self.site_names == other.site_names
+            and self.queue_wait.tobytes() == other.queue_wait.tobytes()
+            and self.failure_rate.tobytes() == other.failure_rate.tobytes()
+            and self.n_jobs.tobytes() == other.n_jobs.tobytes()
+            and self.link_throughput.tobytes() == other.link_throughput.tobytes()
+            and self.link_count.tobytes() == other.link_count.tobytes()
+        )
+
+
+# -- canonical rows ------------------------------------------------------------
+
+
+def site_rows_from_matches(matches: Iterable[JobMatch]) -> List[SiteRow]:
+    """One row per matched job, in the iteration (= job sequence) order."""
+    return [
+        (m.job.computingsite, m.job.queuing_time, not m.job.succeeded)
+        for m in matches
+    ]
+
+
+def link_rows_from_matches(matches: Iterable[JobMatch]) -> List[LinkRow]:
+    """One row per matched transfer, first claiming job wins.
+
+    Shared transfer rows (candidate pollution) are attributed to the
+    first job that matched them — the same first-occurrence rule the
+    batch ``local_remote_split`` uses — so incremental accumulation can
+    reproduce the order exactly via a min-(job, position) claim.
+    """
+    seen: set = set()
+    rows: List[LinkRow] = []
+    for m in matches:
+        for t in m.transfers:
+            if not t.success or t.duration <= 0:
+                continue
+            if t.row_id in seen:
+                continue
+            seen.add(t.row_id)
+            rows.append((t.source_site, t.destination_site, t.throughput))
+    return rows
+
+
+# -- array builders (shared by incremental and batch paths) --------------------
+
+
+def site_arrays(
+    rows: Sequence[SiteRow], site_names: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(queue_wait, failure_rate, n_jobs) arrays from canonical site rows."""
+    index = {name: i for i, name in enumerate(site_names)}
+    n = len(site_names)
+    wait_sum = np.zeros(n, dtype=np.float64)
+    wait_n = np.zeros(n, dtype=np.int64)
+    fail_sum = np.zeros(n, dtype=np.float64)
+    n_jobs = np.zeros(n, dtype=np.int64)
+    for site, wait, failed in rows:
+        i = index.get(site)
+        if i is None:
+            continue
+        n_jobs[i] += 1
+        if failed:
+            fail_sum[i] += 1.0
+        if wait is not None:
+            wait_sum[i] += wait
+            wait_n[i] += 1
+    queue_wait = np.where(wait_n > 0, wait_sum / np.maximum(wait_n, 1), np.nan)
+    failure = np.where(n_jobs > 0, fail_sum / np.maximum(n_jobs, 1), np.nan)
+    return queue_wait, failure, n_jobs
+
+
+def link_arrays(
+    rows: Sequence[LinkRow], site_names: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(mean throughput, count) matrices from canonical link rows."""
+    index = {name: i for i, name in enumerate(site_names)}
+    n = len(site_names)
+    total = np.zeros((n, n), dtype=np.float64)
+    count = np.zeros((n, n), dtype=np.int64)
+    for src, dst, throughput in rows:
+        i = index.get(src)
+        j = index.get(dst)
+        if i is None or j is None:
+            continue
+        total[i, j] += throughput
+        count[i, j] += 1
+    mean = np.where(count > 0, total / np.maximum(count, 1), np.nan)
+    return mean, count
+
+
+def snapshot_from_rows(
+    site_rows: Sequence[SiteRow],
+    link_rows: Sequence[LinkRow],
+    site_names: Sequence[str],
+    generation: int = 0,
+    as_of: float = 0.0,
+    watermark: float = float("-inf"),
+) -> AwarenessSnapshot:
+    queue_wait, failure, n_jobs = site_arrays(site_rows, site_names)
+    link_mean, link_count = link_arrays(link_rows, site_names)
+    return AwarenessSnapshot(
+        generation=int(generation),
+        as_of=float(as_of),
+        watermark=float(watermark),
+        site_names=tuple(site_names),
+        queue_wait=queue_wait,
+        failure_rate=failure,
+        n_jobs=n_jobs,
+        link_throughput=link_mean,
+        link_count=link_count,
+    )
+
+
+def snapshot_from_result(
+    result: MatchResult,
+    site_names: Sequence[str],
+    generation: int = 0,
+    as_of: float = 0.0,
+    watermark: float = float("-inf"),
+) -> AwarenessSnapshot:
+    """The batch equivalent of the incremental fold snapshot.
+
+    ``result.matches`` is in job order (the accumulated stream result
+    sorts by job sequence; the batch pipeline stores window order) —
+    exactly the canonical row order the folds maintain.
+    """
+    return snapshot_from_rows(
+        site_rows_from_matches(result.matches),
+        link_rows_from_matches(result.matches),
+        site_names,
+        generation,
+        as_of,
+        watermark,
+    )
+
+
+# -- scoring kernels -----------------------------------------------------------
+
+
+def queue_wait_kernel(
+    hist_wait: np.ndarray,
+    hist_n: np.ndarray,
+    backlog: np.ndarray,
+    running: np.ndarray,
+    slots: np.ndarray,
+    default_wait: float = DEFAULT_QUEUE_WAIT,
+    service_time: float = DEFAULT_SERVICE_TIME,
+) -> np.ndarray:
+    """Vectorized expected queue wait: history × pressure + queuing term.
+
+    Two components.  Historical wait (prior when unobserved) scaled by
+    ``0.5 + occupancy`` — the original scalar estimator's formula.
+    Plus an oversubscription term: matched telemetry only reports the
+    waits of jobs that *started*, so under congestion history is
+    survivor-biased low; when demand exceeds capacity, the excess must
+    drain at roughly one service time per slot-round, and that queuing
+    delay dominates whatever history says.
+    """
+    hist = np.where(hist_n > 0, hist_wait, default_wait)
+    demand = backlog + running
+    capacity = np.maximum(1.0, slots)
+    pressure = demand / capacity
+    oversub = np.maximum(0.0, demand - slots) / capacity
+    return hist * (0.5 + pressure) + service_time * oversub
+
+
+def staging_kernel(
+    nbytes: float,
+    throughput: np.ndarray,
+    floor: float = MIN_STAGING_THROUGHPUT,
+) -> np.ndarray:
+    """Seconds to move ``nbytes`` at each observed/prior throughput."""
+    return nbytes / np.maximum(floor, throughput)
+
+
+def completion_kernel(
+    wait: np.ndarray,
+    staging: np.ndarray,
+    failure_rate: np.ndarray,
+    failure_n: np.ndarray,
+    failure_penalty: float,
+    default_failure: float = DEFAULT_FAILURE_RATE,
+) -> np.ndarray:
+    """Expected completion score per candidate site (lower is better)."""
+    fail = np.where(failure_n > 0, failure_rate, default_failure)
+    return wait + staging + fail * failure_penalty

@@ -205,6 +205,68 @@ class Harvester:
         self.trace.emit(now, "job.failed_stagein", str(job.pandaid), site=self.site.name)
         self.on_job_done(job)
 
+    # -- re-brokerage (control-loop hooks) --------------------------------------
+
+    @property
+    def ready_backlog(self) -> int:
+        """Jobs staged and waiting for a slot right now."""
+        return len(self._ready)
+
+    def steal_ready(self) -> Optional[Job]:
+        """Pop the newest re-brokerable job off the ready queue.
+
+        Only analysis jobs qualify: production direct-local payloads
+        were brokered to their data and cannot pull inputs elsewhere.
+        Stealing from the tail keeps the head-of-line job (next to get
+        a slot) in place, so re-brokerage never delays work that was
+        about to start.
+        """
+        for i in range(len(self._ready) - 1, -1, -1):
+            if self._ready[i].kind is JobKind.ANALYSIS:
+                job = self._ready[i]
+                del self._ready[i]
+                return job
+        return None
+
+    def readopt(self, job: Job) -> None:
+        """Return a stolen job unchanged (re-brokerage chose this site)."""
+        self._ready.append(job)
+        self._try_start()
+
+    def adopt_rebrokered(self, job: Job, prior_events: Optional[List[TransferEvent]] = None) -> None:
+        """Accept a job re-brokered here while READY at another site.
+
+        Copy-to-scratch jobs whose inputs are not available locally go
+        back through stage-in (READY → ASSIGNED → READY) — paying the
+        re-staging cost is exactly the trade the paper's §5.3 argues
+        can still win when the origin site's queue is long.  Prior
+        stage-in events ride along so queuing-phase transfer accounting
+        spans the whole journey.
+        """
+        if job.computing_site != self.site.name:
+            raise ValueError(
+                f"job {job.pandaid} re-brokered to {job.computing_site}, "
+                f"delivered to {self.site.name}"
+            )
+        if prior_events:
+            self._stagein_events.setdefault(job.pandaid, []).extend(prior_events)
+        needs_staging = (
+            job.access_mode is DataAccessMode.COPY_TO_SCRATCH
+            and job.input_dataset is not None
+            and bool(self.rucio.replicas.missing_at_site(
+                job.input_file_dids, self.site.name))
+        )
+        if needs_staging:
+            job.transition(JobStatus.ASSIGNED)
+            self._begin_stagein(job)
+        else:
+            self._ready.append(job)
+            self._try_start()
+
+    def release_stagein_events(self, pandaid: int) -> List[TransferEvent]:
+        """Hand over (and forget) a job's recorded stage-in events."""
+        return self._stagein_events.pop(pandaid, [])
+
     # -- slot management --------------------------------------------------------
 
     def _mark_ready(self, job: Job) -> None:

@@ -122,10 +122,13 @@ class Job:
 
     # -- state transitions, with legality checks ------------------------------
 
+    # READY -> ASSIGNED is the re-brokerage path: the control loop may
+    # pull a ready-but-queued job off an overloaded site and send it
+    # back through staging at a better one (DESIGN.md §13).
     _LEGAL = {
         JobStatus.DEFINED: {JobStatus.ASSIGNED, JobStatus.FAILED},
         JobStatus.ASSIGNED: {JobStatus.READY, JobStatus.FAILED},
-        JobStatus.READY: {JobStatus.RUNNING, JobStatus.FAILED},
+        JobStatus.READY: {JobStatus.RUNNING, JobStatus.ASSIGNED, JobStatus.FAILED},
         JobStatus.RUNNING: {JobStatus.FINISHED, JobStatus.FAILED},
         JobStatus.FINISHED: set(),
         JobStatus.FAILED: set(),

@@ -119,6 +119,22 @@ class PandaServer:
                         site=decision.site_name, reason=decision.reason)
         self.harvesters[decision.site_name].receive(job)
 
+    def rebroker(self, job: Job, decision: BrokerDecision) -> None:
+        """Move a READY job to a new site mid-flight (control loop).
+
+        The caller has already pulled the job off its old Harvester's
+        ready queue (:meth:`Harvester.steal_ready`) and re-run
+        brokerage; this re-routes it, carrying recorded stage-in events
+        along so queuing-phase transfer accounting stays complete.
+        """
+        old = self.harvesters.get(job.computing_site)
+        prior = old.release_stagein_events(job.pandaid) if old is not None else []
+        job.computing_site = decision.site_name
+        self.decisions[job.pandaid] = decision
+        self.trace.emit(self.engine.now, "job.rebrokered", str(job.pandaid),
+                        site=decision.site_name, reason=decision.reason)
+        self.harvesters[decision.site_name].adopt_rebrokered(job, prior)
+
     def _job_done(self, job: Job) -> None:
         for cb in self._done_callbacks:
             cb(job)

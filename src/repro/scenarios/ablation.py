@@ -14,8 +14,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.coopt.awareness import PerformanceAwareness
-from repro.coopt.broker2 import CoOptimizedBroker
+from repro.coopt.loop import ControlLoop
+from repro.obs import Obs
 from repro.panda.job import Job
 from repro.scenarios.runtime import HarnessConfig, SimulationHarness
 from repro.workload.generator import WorkloadConfig
@@ -118,25 +118,21 @@ def run_locality(config: Optional[AblationConfig] = None) -> BrokerageMetrics:
     return _metrics(harness, "locality")
 
 
-def run_coopt(config: Optional[AblationConfig] = None) -> BrokerageMetrics:
+def run_coopt(
+    config: Optional[AblationConfig] = None, obs: Optional[Obs] = None
+) -> BrokerageMetrics:
+    """Awareness-driven brokerage, now via the closed control loop.
+
+    Runs the ``aware`` ladder rung: the broker's shared state is
+    refreshed each epoch from the *degraded telemetry stream* (folded
+    snapshots), not from ground-truth sinks — the honest digital-twin
+    setting.  Steering interventions (dedup, re-brokerage, pre-staging)
+    stay off so this remains a pure brokerage ablation.
+    """
     cfg = config or AblationConfig()
-    harness = SimulationHarness(cfg.harness_config())
-    awareness = PerformanceAwareness(harness.topology)
-    # Wire the shared state into both systems' event streams.
-    collector_sink = harness.fts.sink
-
-    def combined_sink(event):
-        collector_sink(event)
-        awareness.on_transfer(event)
-
-    harness.fts.sink = combined_sink
-    harness.panda.on_job_done(awareness.on_job_done)
-    harness.panda.on_job_done(lambda j: awareness.note_backlog(j.computing_site, -1))
-    harness.panda.broker = CoOptimizedBroker(
-        harness.topology, harness.rucio, awareness, harness.rngs.get("coopt")
-    )
-    harness.run()
-    return _metrics(harness, "coopt")
+    loop = ControlLoop(cfg.harness_config(), "aware", obs=obs)
+    loop.run()
+    return _metrics(loop.harness, "coopt")
 
 
 @dataclass
@@ -159,5 +155,7 @@ class AblationResult:
         return 1.0 - self.coopt.load_imbalance / self.locality.load_imbalance
 
 
-def run_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
-    return AblationResult(locality=run_locality(config), coopt=run_coopt(config))
+def run_ablation(
+    config: Optional[AblationConfig] = None, obs: Optional[Obs] = None
+) -> AblationResult:
+    return AblationResult(locality=run_locality(config), coopt=run_coopt(config, obs=obs))

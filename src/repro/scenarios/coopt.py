@@ -1,0 +1,185 @@
+"""Closed-loop co-optimization sweep: policy ladder × telemetry quality.
+
+Runs the :class:`~repro.coopt.loop.ControlLoop` across the registered
+policy ladder and a range of metadata-degradation severities, always
+against the same seeded campaign, and reports the deltas the paper's
+§7 says are at stake: makespan, transfer volume, queue-wait tail, and
+failure retries — each relative to the non-aware baseline *at the same
+severity*.  Severity scales every probabilistic degradation knob, so
+the sweep doubles as a measurement of how much closed-loop value
+survives worsening telemetry: the loop only ever sees the degraded
+stream, never ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.coopt.loop import ControlLoop, ControlLoopResult
+from repro.coopt.policies import POLICY_LADDER
+from repro.obs import Obs, use_obs
+from repro.scenarios.runtime import HarnessConfig
+from repro.telemetry.degradation import DegradationConfig
+from repro.workload.generator import WorkloadConfig
+
+
+@dataclass
+class CoOptConfig:
+    """One sweep's shape.
+
+    Defaults reproduce the benchmark's *congested* scenario — a small
+    overloaded grid whose queues back up — because steering is a no-op
+    on an idle grid; closed-loop value only shows where there is load
+    to shed.
+    """
+
+    seed: int = 11
+    days: float = 0.5
+    drain_hours: float = 12.0
+    analysis_tasks_per_hour: float = 60.0
+    production_tasks_per_hour: float = 0.2
+    background_transfers_per_hour: float = 20.0
+    #: small congested grid (None = the full 111-site preset)
+    n_tier2: Optional[int] = 4
+    n_tier3: Optional[int] = 2
+    grid_scale: float = 0.08
+    epoch_hours: float = 2.0
+    #: matcher whose matched output feeds the awareness folds
+    method: str = "rm2"
+    policies: Sequence[str] = POLICY_LADDER
+    #: degradation severities (1.0 = the paper's calibrated losses)
+    severities: Sequence[float] = (1.0,)
+
+    def harness_config(self, severity: float = 1.0) -> HarnessConfig:
+        from repro.grid.presets import WlcgPresetConfig
+
+        grid = (
+            WlcgPresetConfig(
+                n_tier2=self.n_tier2, n_tier3=self.n_tier3, scale=self.grid_scale
+            )
+            if self.n_tier2 is not None
+            else None
+        )
+        return HarnessConfig(
+            seed=self.seed,
+            workload=WorkloadConfig(
+                duration=self.days * 86400.0,
+                analysis_tasks_per_hour=self.analysis_tasks_per_hour,
+                production_tasks_per_hour=self.production_tasks_per_hour,
+                background_transfers_per_hour=self.background_transfers_per_hour,
+            ),
+            grid=grid,
+            drain=self.drain_hours * 3600.0,
+            degradation=DegradationConfig().scaled(severity),
+        )
+
+
+@dataclass
+class SweepCell:
+    """One (policy, severity) run plus its deltas vs that severity's baseline."""
+
+    severity: float
+    result: ControlLoopResult
+    #: positive = the policy improved on the baseline
+    makespan_delta: float = 0.0
+    transfer_delta: float = 0.0
+    queue_p95_delta: float = 0.0
+    retries_delta: int = 0
+
+    def row(self) -> Dict[str, object]:
+        out = {"severity": self.severity}
+        out.update(self.result.row())
+        out.update(
+            {
+                "makespan_delta_s": round(self.makespan_delta, 1),
+                "transfer_delta_GB": round(self.transfer_delta / 1e9, 3),
+                "queue_p95_delta_s": round(self.queue_p95_delta, 1),
+                "retries_delta": self.retries_delta,
+            }
+        )
+        return out
+
+
+@dataclass
+class SweepResult:
+    config: CoOptConfig
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def baseline(self, severity: float) -> Optional[SweepCell]:
+        for c in self.cells:
+            if c.severity == severity and c.result.policy == "baseline":
+                return c
+        return None
+
+    def cell(self, policy: str, severity: float) -> Optional[SweepCell]:
+        for c in self.cells:
+            if c.severity == severity and c.result.policy == policy:
+                return c
+        return None
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [c.row() for c in self.cells]
+
+    def table(self) -> str:
+        header = (
+            f"{'policy':<16} {'sev':>4} {'makespan_h':>10} {'vol_TB':>8} "
+            f"{'q95_s':>8} {'succ':>6} {'re':>4} {'pre':>4} {'sup':>4} "
+            f"{'d_makespan':>10} {'d_vol_GB':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for c in self.cells:
+            r = c.result
+            lines.append(
+                f"{r.policy:<16} {c.severity:>4.1f} {r.makespan / 3600:>10.2f} "
+                f"{r.transfer_volume / 1e12:>8.3f} {r.queue_p95:>8.0f} "
+                f"{r.success_rate:>6.3f} {r.rebrokered:>4d} {r.prestaged:>4d} "
+                f"{r.suppressed:>4d} {c.makespan_delta:>10.0f} "
+                f"{c.transfer_delta / 1e9:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_policy(
+    config: CoOptConfig,
+    policy: str,
+    severity: float = 1.0,
+    obs: Optional[Obs] = None,
+) -> ControlLoopResult:
+    """One (policy, severity) control-loop campaign."""
+    loop = ControlLoop(
+        config.harness_config(severity),
+        policy,
+        epoch_seconds=config.epoch_hours * 3600.0,
+        method=config.method,
+        obs=obs,
+    )
+    return loop.run()
+
+
+def run_sweep(
+    config: Optional[CoOptConfig] = None, obs: Optional[Obs] = None
+) -> SweepResult:
+    """The full ladder × severity grid, with per-cell baseline deltas."""
+    cfg = config or CoOptConfig()
+    sweep = SweepResult(config=cfg)
+    with use_obs(obs) as active:
+        with active.tracer.span("coopt.sweep", cat="coopt") as sp:
+            sp.set("policies", len(list(cfg.policies)))
+            sp.set("severities", len(list(cfg.severities)))
+            for severity in cfg.severities:
+                base: Optional[ControlLoopResult] = None
+                for policy in cfg.policies:
+                    result = run_policy(cfg, policy, severity, obs=obs)
+                    cell = SweepCell(severity=severity, result=result)
+                    if policy == "baseline":
+                        base = result
+                    if base is not None:
+                        cell.makespan_delta = base.makespan - result.makespan
+                        cell.transfer_delta = (
+                            base.transfer_volume - result.transfer_volume
+                        )
+                        cell.queue_p95_delta = base.queue_p95 - result.queue_p95
+                        cell.retries_delta = base.retries - result.retries
+                    sweep.cells.append(cell)
+    return sweep

@@ -21,7 +21,14 @@ The accumulated final state is bit-identical to the batch pipeline's
 (property-tested in ``tests/test_stream.py``; see DESIGN.md §9).
 """
 
-from repro.stream.folds import FoldSet, QueuingFold, SummaryFold, ThresholdFold
+from repro.stream.folds import (
+    FoldSet,
+    LinkAwarenessFold,
+    QueuingFold,
+    SiteAwarenessFold,
+    SummaryFold,
+    ThresholdFold,
+)
 from repro.stream.incremental import (
     Finalized,
     IncrementalMatcher,
@@ -39,7 +46,9 @@ __all__ = [
     "Finalized",
     "FoldSet",
     "IncrementalMatcher",
+    "LinkAwarenessFold",
     "MatchDelta",
+    "SiteAwarenessFold",
     "QueuingFold",
     "StreamEvent",
     "StreamMetrics",

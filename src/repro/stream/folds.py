@@ -9,7 +9,10 @@ to the corresponding batch analysis over the accumulated matches:
 * :class:`QueuingFold` — Table 2's per-method tallies
   (``jobs_by_class`` / ``local_remote_split``);
 * :class:`ThresholdFold` — the Fig 9 cumulative sweep
-  (:func:`repro.core.analysis.thresholds.threshold_sweep`).
+  (:func:`repro.core.analysis.thresholds.threshold_sweep`);
+* :class:`SiteAwarenessFold` / :class:`LinkAwarenessFold` — canonical
+  per-site / per-link rows for the co-optimization control loop
+  (:mod:`repro.coopt.state`), bit-identical to the batch builders.
 
 The identity argument: counts are integers (order-independent), and
 float statistics are computed at snapshot time from timing rows held in
@@ -133,6 +136,65 @@ class ThresholdFold:
         )
 
 
+class SiteAwarenessFold:
+    """Canonical per-site awareness rows, accumulated from deltas.
+
+    Keeps one ``(computingsite, queuing_time, failed)`` row per matched
+    job, sorted by job sequence — exactly the row list
+    :func:`repro.coopt.state.site_rows_from_matches` derives from the
+    accumulated batch :class:`~repro.core.matching.base.MatchResult`,
+    under any delivery order or batch size.
+    """
+
+    def __init__(self, method: str = "exact") -> None:
+        self.method = method
+        #: (job seq, site, queuing_time | None, failed) sorted by seq
+        self._rows: List[Tuple[int, str, Optional[float], bool]] = []
+
+    def update(self, delta) -> None:
+        for f in delta.matches.get(self.method, ()):
+            rec = f.match.job
+            insort(
+                self._rows,
+                (f.seq, rec.computingsite, rec.queuing_time, not rec.succeeded),
+            )
+
+    def rows(self) -> List[Tuple[str, Optional[float], bool]]:
+        return [(site, wait, failed) for _, site, wait, failed in self._rows]
+
+
+class LinkAwarenessFold:
+    """Canonical per-link awareness rows, accumulated from deltas.
+
+    Transfer rows shared between matched jobs resolve to the claim with
+    the smallest ``(job seq, position)`` — the batch builder's
+    first-occurrence rule — and failed / zero-duration records are
+    never claimed, mirroring
+    :func:`repro.coopt.state.link_rows_from_matches` exactly.
+    """
+
+    def __init__(self, method: str = "exact") -> None:
+        self.method = method
+        #: row_id -> (job seq, position, (src, dst, throughput))
+        self._claims: Dict[int, Tuple[int, int, Tuple[str, str, float]]] = {}
+
+    def update(self, delta) -> None:
+        for f in delta.matches.get(self.method, ()):
+            for pos, t in enumerate(f.match.transfers):
+                if not t.success or t.duration <= 0:
+                    continue
+                cur = self._claims.get(t.row_id)
+                if cur is None or (f.seq, pos) < (cur[0], cur[1]):
+                    self._claims[t.row_id] = (
+                        f.seq,
+                        pos,
+                        (t.source_site, t.destination_site, t.throughput),
+                    )
+
+    def rows(self) -> List[Tuple[str, str, float]]:
+        return [row for _, _, row in sorted(self._claims.values())]
+
+
 class FoldSet:
     """A named bundle of folds updated together per delta."""
 
@@ -148,6 +210,14 @@ class FoldSet:
                 "thresholds": ThresholdFold(method),
             }
         )
+
+    @classmethod
+    def with_awareness(cls, method: str = "exact") -> "FoldSet":
+        """The default folds plus the control loop's awareness folds."""
+        fs = cls.default(method)
+        fs.folds["site_awareness"] = SiteAwarenessFold(method)
+        fs.folds["link_awareness"] = LinkAwarenessFold(method)
+        return fs
 
     def update(self, delta) -> None:
         for fold in self.folds.values():

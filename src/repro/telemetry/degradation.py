@@ -98,6 +98,36 @@ class DegradationConfig:
     def drop_taskid_p(self, activity: TransferActivity) -> float:
         return self.p_drop_jeditaskid.get(activity, self.p_drop_jeditaskid_default)
 
+    def scaled(self, severity: float) -> "DegradationConfig":
+        """Scale every defect *probability* by ``severity`` (clamped).
+
+        ``severity=1`` is this config unchanged, ``0`` drops the
+        stochastic defects entirely (structural defects — block
+        granularity, timestamp rounding — are kept: they are schema
+        properties, not noise), and values above 1 degrade harder.
+        Used by the co-optimization sweep to measure how much awareness
+        quality the control loop needs (:mod:`repro.scenarios.coopt`).
+        """
+        if severity < 0:
+            raise ValueError(f"severity must be non-negative, got {severity}")
+
+        def s(p: float) -> float:
+            return min(0.95, p * severity)
+
+        return DegradationConfig(
+            p_drop_transfer=s(self.p_drop_transfer),
+            p_drop_file=s(self.p_drop_file),
+            p_drop_jeditaskid={k: s(v) for k, v in self.p_drop_jeditaskid.items()},
+            p_unknown_destination={
+                k: s(v) for k, v in self.p_unknown_destination.items()
+            },
+            p_unknown_source={k: s(v) for k, v in self.p_unknown_source.items()},
+            p_size_imprecise={k: s(v) for k, v in self.p_size_imprecise.items()},
+            production_block_granularity=self.production_block_granularity,
+            round_timestamps=self.round_timestamps,
+            p_drop_jeditaskid_default=s(self.p_drop_jeditaskid_default),
+        )
+
     @classmethod
     def lossless(cls) -> "DegradationConfig":
         """A config that injects no defects at all.
