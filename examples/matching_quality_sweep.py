@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.core.matching import RM3Matcher
 from repro.core.matching.evaluation import evaluate_against_truth
 from repro.core.matching.pipeline import MatchingPipeline
 from repro.exec.executor import make_executor
@@ -75,29 +76,36 @@ def main() -> None:
             scaled_config(intensity), harness.rngs.get(f"sweep-{intensity}"))
         telemetry = degrader.degrade(harness.collector, harness.panda.tasks)
         source = OpenSearchLike.from_telemetry(telemetry)
-        report = MatchingPipeline(source, known_sites=known).run(
-            t0, t1, executor=executor)
+        pipeline = MatchingPipeline(source, known_sites=known)
+        report = pipeline.run(t0, t1, executor=executor)
+        rm3_report = pipeline.run(
+            t0, t1, matchers=[RM3Matcher(known)], executor=executor)
         jobs = source.user_jobs_completed_in(t0, t1)
         transfers = source.transfers_started_in(t0, t1)
-        for method in report.methods:
-            ev = evaluate_against_truth(
-                report[method], telemetry.ground_truth, jobs, transfers)
-            rows.append([
-                f"{intensity:g}x", method,
-                report[method].n_matched_jobs,
-                f"{ev.pair_precision:.3f}",
-                f"{ev.pair_recall:.3f}",
-            ])
+        for rep in (report, rm3_report):
+            for method in rep.methods:
+                ev = evaluate_against_truth(
+                    rep[method], telemetry.ground_truth, jobs, transfers)
+                rows.append([
+                    f"{intensity:g}x", method,
+                    rep[method].n_matched_jobs,
+                    f"{ev.pair_precision:.3f}",
+                    f"{ev.pair_recall:.3f}",
+                    f"{ev.pair_f1:.3f}",
+                ])
 
     print("\n== matcher quality vs degradation intensity ==")
     print(render_table(
-        ["degradation", "method", "matched jobs", "precision", "recall"], rows))
+        ["degradation", "method", "matched jobs", "precision", "recall", "f1"],
+        rows))
     print(
         "\nReading: at 0x (pristine metadata) exact matching recovers nearly\n"
         "all linkage; production-grade degradation (1x) collapses recall to\n"
         "a few tens of percent while precision stays high — supporting the\n"
         "paper's §5.5 position that metadata quality, not algorithmics, is\n"
-        "the binding constraint."
+        "the binding constraint.  The scored rm3 matcher claws much of that\n"
+        "recall back by joining without byte-exact sizes and thresholding a\n"
+        "per-candidate likelihood instead (DESIGN.md §14)."
     )
 
 

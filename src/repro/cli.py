@@ -77,6 +77,14 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         "--obs", action="store_true",
         help="collect spans and metrics while running and print a "
              "per-stage summary to stderr (results are unaffected)")
+    p.add_argument(
+        "--methods", default="exact,rm1,rm2", metavar="LIST",
+        help="comma-separated matching methods for match/stream "
+             "(exact, rm1, rm2, rm3, subset; default %(default)s)")
+    p.add_argument(
+        "--rm3-threshold", type=float, default=None, metavar="P",
+        help="decision threshold for the rm3 scored matcher "
+             "(default: the committed calibration)")
 
 
 def _study(args) -> EightDayStudy:
@@ -97,6 +105,24 @@ def _study(args) -> EightDayStudy:
     ).run()
 
 
+def _matchers(args, study: EightDayStudy):
+    """Matcher instances for ``--methods``, or None for the default ladder.
+
+    Returning None keeps the study's cached default report usable; an
+    explicit list always runs fresh (see ``EightDayStudy.matching_report``).
+    """
+    from repro.exec.executor import make_matchers
+
+    names = [s.strip() for s in args.methods.split(",") if s.strip()]
+    if names == ["exact", "rm1", "rm2"] and args.rm3_threshold is None:
+        return None
+    return make_matchers(
+        names,
+        known_sites=study.harness.known_site_names(),
+        rm3_threshold=args.rm3_threshold,
+    )
+
+
 def cmd_simulate(args) -> int:
     study = _study(args)
     harness = study.harness
@@ -115,8 +141,9 @@ def cmd_simulate(args) -> int:
 def cmd_match(args) -> int:
     study = _study(args)
     telemetry = study.telemetry
-    report = study.matching_report(workers=args.workers)
-    stats = headline_stats(report, frame=args.frame)
+    report = study.matching_report(workers=args.workers, matchers=_matchers(args, study))
+    headline_method = "exact" if "exact" in report.methods else report.methods[0]
+    stats = headline_stats(report, method=headline_method, frame=args.frame)
     t0, t1 = study.harness.window
     columns = study.pipeline.artifacts(t0, t1).columns if args.frame == "columnar" else None
     print(f"matched transfers : {stats.n_matched_transfers} "
@@ -125,9 +152,10 @@ def cmd_match(args) -> int:
           f"({stats.job_match_pct:.2f}% of user jobs)")
     print(f"transfer-time in queue: mean {stats.mean_transfer_pct:.2f}% "
           f"geomean {stats.geomean_transfer_pct:.3f}%\n")
-    print(render_activity_table(
-        activity_breakdown(report["exact"], telemetry.transfers, columns=columns)))
-    print()
+    if "exact" in report.methods:
+        print(render_activity_table(
+            activity_breakdown(report["exact"], telemetry.transfers, columns=columns)))
+        print()
     print(render_method_tables(
         method_comparison_transfers(report, frame=args.frame),
         method_comparison_jobs(report, frame=args.frame),
@@ -199,8 +227,10 @@ def cmd_sweep(args) -> int:
 
 def cmd_stream(args) -> int:
     study = _study(args)
+    matchers = _matchers(args, study)
     processor = study.stream(
-        batch_seconds=args.batch_hours * 3600.0, lateness=args.lateness
+        batch_seconds=args.batch_hours * 3600.0, lateness=args.lateness,
+        matchers=matchers,
     )
     metrics = processor.metrics()
     print(f"micro-batches        : {metrics.n_batches} "
@@ -221,7 +251,7 @@ def cmd_stream(args) -> int:
           f"transfers ({stats.transfer_match_pct:.2f}%), mean transfer-time "
           f"{stats.mean_transfer_pct:.2f}% of queue")
 
-    batch_report = study.matching_report(workers=args.workers)
+    batch_report = study.matching_report(workers=args.workers, matchers=matchers)
     identical = all(
         stream_report[m].matched_pairs() == batch_report[m].matched_pairs()
         and stream_report[m] == batch_report[m]

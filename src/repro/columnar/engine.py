@@ -40,6 +40,7 @@ from repro.columnar.interner import StringInterner
 from repro.columnar.packs import WindowColumns
 from repro.core.matching.base import BaseMatcher, JobMatch, MatchResult
 from repro.core.matching.rm2 import RM2Matcher
+from repro.core.matching.rm3 import RM3Matcher
 from repro.obs import get_obs
 from repro.telemetry.records import (
     UNKNOWN_SITE,
@@ -55,12 +56,26 @@ def supports_columnar(matcher: BaseMatcher) -> bool:
     True when the matcher uses the stock candidate filtering — the base
     ``run``/``match_job``/``time_ok`` template and a recognized
     ``site_ok`` (strict or RM2's relaxation).  ``select_job`` overrides
-    are fine: they run per job on the vectorized candidates.
+    are fine: they run per job on the vectorized candidates.  RM3's
+    size-tolerant join + scored ``match_job_scored`` are recognized as
+    long as the scoring hooks are the stock ones
+    (:meth:`ColumnarIndex._run_rm3` lowers the score directly, not
+    through the row hooks).
     """
     cls = type(matcher)
+    if cls.run is not BaseMatcher.run:
+        return False
+    if cls.size_tolerant_join:
+        return (
+            getattr(cls, "match_job_scored", None) is RM3Matcher.match_job_scored
+            and cls.time_feature is RM3Matcher.time_feature
+            and cls.site_feature is RM3Matcher.site_feature
+            and cls.size_feature is RM3Matcher.size_feature
+            and cls.score is RM3Matcher.score
+            and cls._site_uncertain is RM2Matcher._site_uncertain
+        )
     return (
-        cls.run is BaseMatcher.run
-        and cls.match_job is BaseMatcher.match_job
+        cls.match_job is BaseMatcher.match_job
         and cls.time_ok is BaseMatcher.time_ok
         and (cls.site_ok is BaseMatcher.site_ok or cls.site_ok is RM2Matcher.site_ok)
     )
@@ -207,27 +222,42 @@ class ColumnarIndex:
         cand_tpos = sorted_tpos[_ragged_arange(run_lo[entry_fi], cands_per_entry)]
 
         # Attribute equality beyond the (task, lfn) key: dataset,
-        # proddblock, scope, file_size — all int comparisons now.
-        attr_ok = (
+        # proddblock, scope — all int comparisons now.  Size equality
+        # is kept as a separate mask: the Algorithm-1 join requires it,
+        # RM3's size-relaxed join scores the mismatch instead.
+        attr_relaxed = (
             (tp.dataset[cand_tpos] == fp.dataset[cand_fi])
             & (tp.proddblock[cand_tpos] == fp.proddblock[cand_fi])
             & (tp.scope[cand_tpos] == fp.scope[cand_fi])
-            & (tp.size[cand_tpos] == fp.size[cand_fi])
         )
-        cand_job = cand_job[attr_ok]
-        cand_tpos = cand_tpos[attr_ok]
+        r_job = cand_job[attr_relaxed]
+        r_tpos = cand_tpos[attr_relaxed]
+        r_fi = cand_fi[attr_relaxed]
+        size_eq = tp.size[r_tpos] == fp.size[r_fi]
 
         # First-occurrence dedup per (job, row_id), like the row
         # engine's ``seen`` set.  row_id is code-compressed so the pair
-        # packs into int64 even for arbitrary stored ids.
+        # packs into int64 even for arbitrary stored ids.  The sized
+        # and relaxed joins dedup independently — each mirrors its row
+        # loop's enumeration, so "first occurrence" can differ between
+        # them (a size-mismatched file row can reach a transfer first).
         rid_code, _, rid_span = _joint_codes(
             tp.row_id, tp.row_id[:0], (1 << 62) // (n_jobs + 1)
         )
-        dedup_key = cand_job * rid_span + rid_code[cand_tpos]
-        _, first = np.unique(dedup_key, return_index=True)
-        first.sort()  # restore candidate-enumeration order
-        self.cand_job = cand_job[first]
-        self.cand_tpos = cand_tpos[first]
+
+        def dedup(jobs_arr: np.ndarray, keys: np.ndarray) -> np.ndarray:
+            _, first = np.unique(jobs_arr * rid_span + keys, return_index=True)
+            first.sort()  # restore candidate-enumeration order
+            return first
+
+        sized = dedup(r_job[size_eq], rid_code[r_tpos[size_eq]])
+        self.cand_job = r_job[size_eq][sized]
+        self.cand_tpos = r_tpos[size_eq][sized]
+
+        relaxed = dedup(r_job, rid_code[r_tpos])
+        self.relaxed_job = r_job[relaxed]
+        self.relaxed_tpos = r_tpos[relaxed]
+        self.relaxed_fi = r_fi[relaxed]
 
     # -- shared filter kernels -----------------------------------------------------
 
@@ -318,6 +348,8 @@ class ColumnarIndex:
         return result
 
     def _run_inner(self, matcher: BaseMatcher, n_transfers_considered: int) -> MatchResult:
+        if type(matcher).size_tolerant_join:
+            return self._run_rm3(matcher, n_transfers_considered)
         if type(matcher).site_ok is RM2Matcher.site_ok:
             site_mask = self._site_mask(self._uncertain_codes(matcher))
         else:
@@ -350,6 +382,68 @@ class ColumnarIndex:
                 for j, group in _grouped(cand_job, cand_tpos)
             ]
 
+        result = MatchResult(
+            method=matcher.name,
+            matches=matches,
+            n_jobs_considered=len(self.jobs),
+            n_transfers_considered=n_transfers_considered,
+        )
+        result._frame = frame
+        return result
+
+    def _run_rm3(self, matcher: RM3Matcher, n_transfers_considered: int) -> MatchResult:
+        """RM3's scored decision as one vectorized pass.
+
+        Mirrors :meth:`RM3Matcher.match_job_scored` bit for bit over
+        the size-relaxed join arrays: the hard gate (condition (1) +
+        directedness), then ``(f_time * f_site) * f_size >= threshold``
+        in the same association order and with the same int→float64
+        conversions as the row reference (see the module docstring of
+        :mod:`repro.core.matching.rm3`).
+        """
+        tp, jp, fp = self.columns.transfers, self.columns.jobs, self.columns.files
+        with np.errstate(invalid="ignore"):
+            in_time = (
+                tp.starttime[self.relaxed_tpos] < jp.endtime[self.relaxed_job]
+            )
+        directed = (
+            tp.is_download[self.relaxed_tpos] | tp.is_upload[self.relaxed_tpos]
+        )
+        gate = in_time & directed
+        cand_job = self.relaxed_job[gate]
+        cand_tpos = self.relaxed_tpos[gate]
+        cand_fi = self.relaxed_fi[gate]
+
+        # Per-candidate size tolerance against the producing file row.
+        rel = np.abs(tp.size[cand_tpos] - fp.size[cand_fi]) / np.maximum(
+            fp.size[cand_fi], 1
+        )
+        f_size = matcher.rho / (matcher.rho + rel)
+
+        # Per-candidate time proximity and site prior.
+        lead = np.maximum(jp.creation[cand_job] - tp.starttime[cand_tpos], 0.0)
+        f_time = matcher.tau / (matcher.tau + lead)
+        label = np.where(
+            tp.is_download[cand_tpos], tp.dst[cand_tpos], tp.src[cand_tpos]
+        )
+        uncertain = self._uncertain_codes(matcher)
+        f_site = np.where(
+            label == jp.site[cand_job],
+            1.0,
+            np.where(uncertain[label], matcher.site_prior, matcher.site_contra),
+        )
+
+        score = (f_time * f_site) * f_size
+        keep = score >= matcher.threshold
+        cand_job = cand_job[keep]
+        cand_tpos = cand_tpos[keep]
+
+        frame = MatchFrame.from_candidates(self.columns, cand_job, cand_tpos)
+        take = self.transfers.__getitem__
+        matches = [
+            JobMatch(job=self.jobs[j], transfers=list(map(take, group.tolist())))
+            for j, group in _grouped(cand_job, cand_tpos)
+        ]
         result = MatchResult(
             method=matcher.name,
             matches=matches,

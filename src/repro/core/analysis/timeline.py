@@ -63,12 +63,20 @@ class JobTimeline:
         return max(rates) / min(rates)
 
     def transfers_are_sequential(self, tolerance: float = 1.0) -> bool:
-        """True when no two transfers overlap (beyond ``tolerance``
-        seconds) — Fig 10's "transfers occurred sequentially rather than
-        in parallel" signature."""
+        """True when no two transfers overlap by *more than* ``tolerance``
+        seconds — Fig 10's "transfers occurred sequentially rather than
+        in parallel" signature.
+
+        Closed semantics at the edge: an overlap of exactly
+        ``tolerance`` still counts as sequential.  The overlap is
+        measured directly (``e1 - s2``) rather than via a shifted bound
+        (``s2 < e1 - tolerance``), which rounds differently for large
+        offsets and made the equality edge depend on the spans'
+        magnitudes.
+        """
         spans = sorted((t.rel_start, t.rel_end) for t in self.transfers)
         for (s1, e1), (s2, _) in zip(spans, spans[1:]):
-            if s2 < e1 - tolerance:
+            if e1 - s2 > tolerance:
                 return False
         return True
 

@@ -222,6 +222,38 @@ class CandidateIndex:
                     out.append(t)
         return out
 
+    def scored_candidates_for_job(
+        self, job: JobRecord
+    ) -> List[Tuple[TransferRecord, float]]:
+        """The size-relaxed join for scored matchers (RM3).
+
+        Attribute equality *except* ``file_size``: degradation records
+        sizes imprecisely (§4.3), so requiring byte equality silently
+        drops true pairs at the join.  Each candidate carries its
+        relative size mismatch ``|t - f| / max(f, 1)`` against the file
+        row that produced it; when several file rows reach the same
+        transfer, the first in enumeration order wins (the same
+        first-occurrence rule as the dedup above, mirrored exactly by
+        the columnar join).
+        """
+        out: List[Tuple[TransferRecord, float]] = []
+        seen: Set[int] = set()
+        for f in self.files_for_job(job):
+            for t in self._transfers_by_key.get((job.jeditaskid, f.lfn), []):
+                if t.row_id in seen:
+                    continue
+                if (
+                    t.dataset == f.dataset
+                    and t.proddblock == f.proddblock
+                    and t.scope == f.scope
+                ):
+                    seen.add(t.row_id)
+                    rel = float(abs(t.file_size - f.file_size)) / float(
+                        max(f.file_size, 1)
+                    )
+                    out.append((t, rel))
+        return out
+
 
 class BaseMatcher:
     """Template: candidate join + method-specific final filter."""
@@ -254,6 +286,11 @@ class BaseMatcher:
 
     #: Whether this matcher applies the whole-set size check.
     use_size_check = True
+
+    #: Scored matchers (RM3) set this to join without file-size
+    #: equality; ``run`` then feeds (candidate, size mismatch) pairs
+    #: through ``match_job_scored`` instead of ``match_job``.
+    size_tolerant_join = False
 
     def match_job(self, job: JobRecord, candidates: List[TransferRecord]) -> List[TransferRecord]:
         """Final filtering of T'_j for one job."""
@@ -291,8 +328,12 @@ class BaseMatcher:
     ) -> MatchResult:
         matches: List[JobMatch] = []
         for job in jobs:
-            candidates = index.candidates_for_job(job)
-            kept = self.match_job(job, candidates) if candidates else []
+            if self.size_tolerant_join:
+                pairs = index.scored_candidates_for_job(job)
+                kept = self.match_job_scored(job, pairs) if pairs else []
+            else:
+                candidates = index.candidates_for_job(job)
+                kept = self.match_job(job, candidates) if candidates else []
             if kept:
                 matches.append(JobMatch(job=job, transfers=kept))
         return MatchResult(

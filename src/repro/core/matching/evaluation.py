@@ -10,6 +10,22 @@ no truth labels; the simulator does.  For each method we report:
   pre-selection), what fraction were recovered;
 * **job precision/recall** — same at job granularity (a job counts as
   correctly matched when at least one asserted transfer is truly its).
+
+Denominator discipline (matters for the RM3 threshold sweeps, which
+walk into regimes the binary matchers never reach):
+
+* precision and recall are computed over the same visible universe —
+  asserted pairs whose job or transfer falls outside the evaluated
+  window are counted separately (``n_asserted_outside_window``) and
+  excluded from the precision denominator, so a matcher fed a wider
+  record set than the evaluation window cannot skew precision against
+  a recall that only ever counts in-window truth;
+* vacuous cases are defined, not ``ZeroDivisionError``: an empty
+  assertion set has precision 1.0 (no false positives were made) and
+  an empty visible-truth set has recall 1.0 (nothing recoverable was
+  missed), so precision/recall curves stay defined at degradation
+  severities that erase every visible link or thresholds that reject
+  every candidate.
 """
 
 from __future__ import annotations
@@ -19,7 +35,12 @@ from typing import Sequence, Set, Tuple
 
 from repro.core.matching.base import MatchResult
 from repro.telemetry.groundtruth import GroundTruth
-from repro.telemetry.records import JobRecord, TransferRecord
+from repro.telemetry.records import UNKNOWN_SITE, JobRecord, TransferRecord
+
+
+def _ratio(num: int, den: int) -> float:
+    """num/den with the vacuous case defined as 1.0 (see module doc)."""
+    return num / den if den else 1.0
 
 
 @dataclass(frozen=True)
@@ -31,6 +52,16 @@ class MatchEvaluation:
     pair_recall: float
     job_precision: float
     job_recall: float
+    #: asserted pairs whose endpoints the evaluation window never saw —
+    #: excluded from the precision denominator (0 for any matcher run
+    #: on the window's own artifacts).
+    n_asserted_outside_window: int = 0
+
+    @property
+    def pair_f1(self) -> float:
+        """Harmonic mean of pair precision and recall (0 when both are 0)."""
+        p, r = self.pair_precision, self.pair_recall
+        return 2.0 * p * r / (p + r) if p + r else 0.0
 
     def __str__(self) -> str:
         return (
@@ -64,17 +95,19 @@ def evaluate_against_truth(
     asserted = set(result.matched_pairs())
     true_visible = visible_true_pairs(truth, jobs, transfers)
 
-    correct_pairs = {p for p in asserted if truth.true_job_of(p[1]) == p[0]}
-    pair_precision = len(correct_pairs) / len(asserted) if asserted else 0.0
-    pair_recall = (
-        len(correct_pairs & true_visible) / len(true_visible) if true_visible else 0.0
-    )
+    job_ids = {j.pandaid for j in jobs}
+    row_ids = {t.row_id for t in transfers}
+    in_window = {p for p in asserted if p[0] in job_ids and p[1] in row_ids}
 
-    asserted_jobs = {p[0] for p in asserted}
+    correct_pairs = {p for p in in_window if truth.true_job_of(p[1]) == p[0]}
+    pair_precision = _ratio(len(correct_pairs), len(in_window))
+    pair_recall = _ratio(len(correct_pairs), len(true_visible))
+
+    asserted_jobs = {p[0] for p in in_window}
     correct_jobs = {p[0] for p in correct_pairs}
     true_jobs = {p[0] for p in true_visible}
-    job_precision = len(correct_jobs & asserted_jobs) / len(asserted_jobs) if asserted_jobs else 0.0
-    job_recall = len(correct_jobs & true_jobs) / len(true_jobs) if true_jobs else 0.0
+    job_precision = _ratio(len(correct_jobs & asserted_jobs), len(asserted_jobs))
+    job_recall = _ratio(len(correct_jobs & true_jobs), len(true_jobs))
 
     return MatchEvaluation(
         method=result.method,
@@ -84,4 +117,57 @@ def evaluate_against_truth(
         pair_recall=pair_recall,
         job_precision=job_precision,
         job_recall=job_recall,
+        n_asserted_outside_window=len(asserted) - len(in_window),
     )
+
+
+@dataclass(frozen=True)
+class SiteRecovery:
+    """RM2-style site-label recovery scored against ground truth (§4.3).
+
+    When a matcher asserts a pair whose transfer lost its relevant
+    endpoint label (download destination / upload source recorded empty
+    or ``UNKNOWN``), the match *implies* that endpoint was the job's
+    computing site.  The simulator knows the true endpoints, so the
+    implication can be scored.
+    """
+
+    method: str
+    #: asserted pairs whose relevant endpoint label was missing/unknown
+    n_recoverable: int
+    #: of those, implications matching the true endpoint
+    n_correct: int
+
+    @property
+    def accuracy(self) -> float:
+        return _ratio(self.n_correct, self.n_recoverable)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.method}: recovered {self.n_correct}/{self.n_recoverable} "
+            f"unknown site labels ({self.accuracy:.1%})"
+        )
+
+
+def recover_unknown_sites(result: MatchResult, truth: GroundTruth) -> SiteRecovery:
+    """Score the site labels a method's matches imply for unknown endpoints."""
+    n_recoverable = 0
+    n_correct = 0
+    for m in result.matches:
+        site = m.job.computingsite
+        for t in m.transfers:
+            if t.is_download:
+                label, pick = t.destination_site, 1  # true (src, dst)[1]
+            elif t.is_upload:
+                label, pick = t.source_site, 0
+            else:
+                continue
+            if label and label != UNKNOWN_SITE:
+                continue
+            true_sites = truth.true_sites.get(t.row_id)
+            if true_sites is None:
+                continue
+            n_recoverable += 1
+            if true_sites[pick] == site:
+                n_correct += 1
+    return SiteRecovery(result.method, n_recoverable, n_correct)

@@ -40,6 +40,8 @@ from repro.core.matching.base import BaseMatcher, MatchingReport, MatchResult
 from repro.core.matching.exact import ExactMatcher
 from repro.core.matching.rm1 import RM1Matcher
 from repro.core.matching.rm2 import RM2Matcher
+from repro.core.matching.rm3 import RM3Matcher
+from repro.core.matching.subset import SubsetMatcher
 from repro.exec.artifacts import ArtifactCache, build_report, match_artifacts
 from repro.exec.plan import WindowPlan
 from repro.obs import get_obs
@@ -49,6 +51,44 @@ def default_matchers(known_sites=None) -> List[BaseMatcher]:
     """The paper's method ladder: Exact, RM1, RM2."""
     known_sites = known_sites or set()
     return [ExactMatcher(known_sites), RM1Matcher(known_sites), RM2Matcher(known_sites)]
+
+
+#: Method-name registry behind ``--methods``; every entry takes the
+#: known-site set as its only positional argument.
+MATCHER_FACTORIES = {
+    "exact": ExactMatcher,
+    "rm1": RM1Matcher,
+    "rm2": RM2Matcher,
+    "rm3": RM3Matcher,
+    "subset": SubsetMatcher,
+}
+
+
+def make_matchers(
+    names: Sequence[str],
+    known_sites=None,
+    rm3_threshold: Optional[float] = None,
+) -> List[BaseMatcher]:
+    """Instantiate matchers by registry name, in the given order.
+
+    ``rm3_threshold`` overrides :data:`~repro.core.matching.rm3.
+    DEFAULT_RM3_THRESHOLD` for any ``rm3`` entries; the other methods
+    have no tuning knobs.
+    """
+    known_sites = known_sites or set()
+    out: List[BaseMatcher] = []
+    for name in names:
+        factory = MATCHER_FACTORIES.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown matching method {name!r}; "
+                f"expected one of {sorted(MATCHER_FACTORIES)}"
+            )
+        if name == "rm3" and rm3_threshold is not None:
+            out.append(RM3Matcher(known_sites, threshold=rm3_threshold))
+        else:
+            out.append(factory(known_sites))
+    return out
 
 
 class Executor:

@@ -205,7 +205,12 @@ class _TimeShards:
         return sorted(k for k in self.shards if (k + 1) * s > t0 and k * s < t1)
 
     def ids_in(self, t0: float, t1: float, collection: str = "") -> np.ndarray:
-        """Global row ids with value in [t0, t1), id-sorted."""
+        """Global row ids with value in [t0, t1), id-sorted.
+
+        ``side="left"`` at both bounds is the searchsorted lowering of
+        the repo-wide half-open convention (:mod:`repro.window`); the
+        routing above may over-select shards, never records.
+        """
         keys = self.route(t0, t1)
         obs = get_obs()
         with obs.tracer.span("metastore.shard_route", cat="metastore") as sp:

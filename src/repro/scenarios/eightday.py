@@ -136,34 +136,44 @@ class EightDayStudy:
         workers: Optional[int] = None,
         executor: Optional[Executor] = None,
         engine: Optional[str] = None,
+        matchers: Optional[Sequence] = None,
     ) -> MatchingReport:
-        """The Exact/RM1/RM2 comparison over the full window (cached).
+        """The method-ladder comparison over the full window.
 
         ``workers`` (or an explicit ``executor``) fans the methods
         across processes; ``engine`` overrides the study's join engine.
         Serial/parallel and row/columnar runs all produce identical
-        reports, so the cache does not distinguish them.
+        reports, so the cache does not distinguish them.  ``matchers``
+        overrides the default Exact/RM1/RM2 ladder (e.g. adding RM3 at
+        a chosen threshold); only the default ladder's report is
+        cached — explicit matcher lists may carry per-instance tuning,
+        so they always run (the window artifacts stay cached either
+        way).
         """
-        if self._report is None:
-            t0, t1 = self.harness.window
-            ex = executor if executor is not None else make_executor(workers)
-            try:
-                with use_obs(self.obs) as obs:
-                    with obs.tracer.span("study.match", cat="study") as sp:
-                        sp.set("workers", ex.workers)
-                        self._report = self.pipeline.run(
-                            t0, t1, executor=ex, engine=engine
-                        )
-            finally:
-                if executor is None:
-                    ex.close()
-        return self._report
+        if matchers is None and self._report is not None:
+            return self._report
+        t0, t1 = self.harness.window
+        ex = executor if executor is not None else make_executor(workers)
+        try:
+            with use_obs(self.obs) as obs:
+                with obs.tracer.span("study.match", cat="study") as sp:
+                    sp.set("workers", ex.workers)
+                    report = self.pipeline.run(
+                        t0, t1, matchers=matchers, executor=ex, engine=engine
+                    )
+        finally:
+            if executor is None:
+                ex.close()
+        if matchers is None:
+            self._report = report
+        return report
 
     def stream(
         self,
         batch_seconds: Optional[float] = None,
         batch_events: Optional[int] = None,
         lateness: float = 0.0,
+        matchers: Optional[Sequence] = None,
     ):
         """Replay the full window through the streaming dataplane.
 
@@ -171,8 +181,9 @@ class EightDayStudy:
         drains it through a :class:`~repro.stream.StreamProcessor` in
         deterministic micro-batches (six-hour spans unless overridden).
         The returned processor's ``report()`` is bit-identical to
-        :meth:`matching_report` for Exact/RM1/RM2, and its folds hold
-        the running §5.1 headline / Fig-9 accumulators.
+        :meth:`matching_report` for any columnar-lowerable ``matchers``
+        (default Exact/RM1/RM2; RM3 qualifies), and its folds hold the
+        running §5.1 headline / Fig-9 accumulators.
         """
         from repro.stream import replay_window
 
@@ -184,6 +195,7 @@ class EightDayStudy:
                     t0,
                     t1,
                     known_sites=self.harness.known_site_names(),
+                    matchers=matchers,
                     batch_seconds=batch_seconds,
                     batch_events=batch_events,
                     lateness=lateness,

@@ -48,6 +48,7 @@ from repro.stream.log import EventKind, EventLog, StreamEvent
 from repro.stream.metrics import StreamMetrics, _MetricsAccumulator
 from repro.stream.watermark import WatermarkTracker
 from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
+from repro.window import in_window
 
 
 @dataclass(frozen=True)
@@ -148,12 +149,12 @@ class IncrementalMatcher:
         for e in events:
             if e.kind is EventKind.TRANSFER:
                 t = e.record
-                if not (self.t0 <= t.starttime < self.t1):
+                if not in_window(t.starttime, self.t0, self.t1):
                     continue
                 transfers.append((e.seq, t))
             else:
                 j = e.record
-                if j.endtime is None or not (self.t0 <= j.endtime < self.t1):
+                if j.endtime is None or not in_window(j.endtime, self.t0, self.t1):
                     continue
                 if self.user_jobs_only and j.prodsourcelabel != "user":
                     continue
@@ -460,6 +461,7 @@ def replay_window(
     t0: float,
     t1: float,
     known_sites: Optional[set] = None,
+    matchers: Optional[Sequence[BaseMatcher]] = None,
     batch_seconds: Optional[float] = None,
     batch_events: Optional[int] = None,
     lateness: float = 0.0,
@@ -471,13 +473,16 @@ def replay_window(
     event-time-ordered log, batches it (six-hour spans by default),
     and drains it through a fresh :class:`StreamProcessor`.  The
     returned processor's :meth:`~StreamProcessor.report` is
-    bit-identical to the batch pipeline over the same window.
+    bit-identical to the batch pipeline over the same window;
+    ``matchers`` (default Exact/RM1/RM2) must all lower to the columnar
+    kernels — RM3's per-close delta scoring qualifies.
     """
     if batch_seconds is None and batch_events is None:
         batch_seconds = 6 * 3600.0
     log = EventLog.from_telemetry(telemetry, t0, t1)
     processor = StreamProcessor(
-        t0, t1, known_sites=known_sites, lateness=lateness, folds=folds
+        t0, t1, known_sites=known_sites, matchers=matchers,
+        lateness=lateness, folds=folds,
     )
     return processor.run(
         log.micro_batches(batch_seconds=batch_seconds, batch_events=batch_events)

@@ -37,6 +37,7 @@ from repro.telemetry.degradation import (
     MetadataDegrader,
 )
 from repro.telemetry.records import FileRecord, JobRecord, TransferRecord
+from repro.window import in_window
 
 
 class EventKind(enum.Enum):
@@ -129,7 +130,7 @@ class EventLog:
             log._job_seq += 1
             if j.endtime is None:
                 continue
-            if t0 is not None and not (t0 <= j.endtime < t1):
+            if t0 is not None and not in_window(j.endtime, t0, t1):
                 continue
             ev = StreamEvent(
                 kind=EventKind.JOB,
@@ -142,7 +143,7 @@ class EventLog:
         for t in telemetry.transfers:
             seq = log._transfer_seq
             log._transfer_seq += 1
-            if t0 is not None and not (t0 <= t.starttime < t1):
+            if t0 is not None and not in_window(t.starttime, t0, t1):
                 continue
             ev = StreamEvent(
                 kind=EventKind.TRANSFER, seq=seq, time=t.starttime, record=t

@@ -16,6 +16,7 @@ from repro.panda.job import Job, JobKind
 from repro.panda.task import JediTask, TaskStatus
 from repro.rucio.catalog import DidCatalog
 from repro.rucio.transfer import TransferEvent
+from repro.window import in_window
 
 
 class TelemetryCollector:
@@ -71,7 +72,9 @@ class TelemetryCollector:
         Sort-once + bisect: the start-time order is built on the first
         query after an append, then every query is two binary searches
         plus one sort of the k hits' positions (which restores the
-        arrival order the old linear scan produced).
+        arrival order the old linear scan produced).  Both searches use
+        ``side="left"`` — the searchsorted lowering of the repo-wide
+        half-open convention (:mod:`repro.window`).
         """
         if not self.transfer_events:
             return []
@@ -92,5 +95,5 @@ class TelemetryCollector:
         return [
             j
             for j in self.completed_jobs
-            if j.end_time is not None and t0 <= j.end_time < t1
+            if j.end_time is not None and in_window(j.end_time, t0, t1)
         ]

@@ -121,6 +121,32 @@ class TestTimeline:
         assert build_timeline(seq).transfers_are_sequential()
         assert not build_timeline(par).transfers_are_sequential()
 
+    def test_sequential_tolerance_equality_edge(self):
+        """Overlap of exactly ``tolerance`` counts as sequential (closed
+        semantics); one epsilon more does not.  The overlap is measured
+        directly (e1 - s2 > tolerance), so the edge no longer depends
+        on the magnitude of the absolute timestamps."""
+        exactly = match_with([
+            make_transfer(row_id=1, start=0.0, end=10.0),
+            make_transfer(row_id=2, start=9.0, end=20.0),   # overlap == 1.0
+        ])
+        over = match_with([
+            make_transfer(row_id=1, start=0.0, end=10.0),
+            make_transfer(row_id=2, start=8.5, end=20.0),   # overlap == 1.5
+        ])
+        assert build_timeline(exactly).transfers_are_sequential(tolerance=1.0)
+        assert not build_timeline(over).transfers_are_sequential(tolerance=1.0)
+        # Large offsets: near 2**53 the float spacing is 2.0, so the old
+        # shifted bound ``s2 < e1 - tolerance`` rounded (base+2) - 1 back
+        # down to base and reported a 2-second overlap as sequential.
+        # Direct subtraction measures the overlap exactly.
+        base = 2.0**53
+        shifted = match_with([
+            make_transfer(row_id=1, start=base, end=base + 2.0),
+            make_transfer(row_id=2, start=base, end=base + 4.0),
+        ])
+        assert not build_timeline(shifted).transfers_are_sequential(tolerance=1.0)
+
     def test_spanning_detection(self):
         m = match_with(
             [make_transfer(start=50.0, end=1500.0)],
